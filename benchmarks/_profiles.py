@@ -1,0 +1,100 @@
+"""Benchmark workload profiles.
+
+The default (quick) profile keeps the full algorithmic pipeline — real
+VGG-16/ResNet-19 topologies, ERK, BPTT, every method — but shrinks
+widths, resolutions, sample counts and epochs so the whole suite runs
+on a CPU in minutes.  Set ``REPRO_BENCH_FULL=1`` for a heavier profile
+(closer to the paper's recipe: T=5, all four sparsity levels, more
+epochs); absolute accuracies still differ from the paper because the
+substrate is synthetic data on a numpy engine, but orderings sharpen.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Tuple
+
+FULL = bool(int(os.environ.get("REPRO_BENCH_FULL", "0")))
+
+
+@dataclass(frozen=True)
+class BenchProfile:
+    """Workload sizing for all table/figure benches."""
+
+    epochs: int
+    epochs_resnet: int
+    train_samples: int
+    test_samples: int
+    timesteps: int
+    batch_size: int
+    width_mult: float
+    image_size_cifar: int
+    image_size_tiny: int
+    sparsities: Tuple[float, ...]
+    lth_rounds: int
+    update_frequency: int
+    learning_rate: float
+    seed: int = 0
+
+    def epochs_for(self, model: str) -> int:
+        return self.epochs_resnet if model == "resnet19" else self.epochs
+
+    def image_size_for(self, dataset: str) -> int:
+        return self.image_size_tiny if dataset == "tiny_imagenet" else self.image_size_cifar
+
+
+QUICK_PROFILE = BenchProfile(
+    epochs=10,
+    epochs_resnet=8,
+    train_samples=224,
+    test_samples=64,
+    timesteps=2,
+    batch_size=16,
+    width_mult=0.125,
+    image_size_cifar=16,
+    image_size_tiny=16,
+    sparsities=(0.9, 0.99),
+    lth_rounds=2,
+    update_frequency=8,
+    learning_rate=0.1,
+)
+
+FULL_PROFILE = BenchProfile(
+    epochs=30,
+    epochs_resnet=15,
+    train_samples=512,
+    test_samples=128,
+    timesteps=5,
+    batch_size=16,
+    width_mult=0.25,
+    image_size_cifar=16,
+    image_size_tiny=32,
+    sparsities=(0.9, 0.95, 0.98, 0.99),
+    lth_rounds=3,
+    update_frequency=8,
+    learning_rate=0.1,
+)
+
+PROFILE = FULL_PROFILE if FULL else QUICK_PROFILE
+
+
+def profile_config(dataset: str, model: str, method: str, sparsity: float, **overrides):
+    """Scaled experiment config under the active bench profile."""
+    from repro.experiments import scaled_config
+
+    base = dict(
+        epochs=PROFILE.epochs_for(model),
+        train_samples=PROFILE.train_samples,
+        test_samples=PROFILE.test_samples,
+        timesteps=PROFILE.timesteps,
+        batch_size=PROFILE.batch_size,
+        width_mult=PROFILE.width_mult,
+        image_size=PROFILE.image_size_for(dataset),
+        update_frequency=PROFILE.update_frequency,
+        learning_rate=PROFILE.learning_rate,
+        lth_rounds=PROFILE.lth_rounds,
+        seed=PROFILE.seed,
+    )
+    base.update(overrides)
+    return scaled_config(dataset, model, method, sparsity, **base)

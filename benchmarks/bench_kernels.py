@@ -1,0 +1,96 @@
+"""Micro-benchmarks of the compute kernels (supplementary).
+
+These are classic pytest-benchmark timings (many rounds) of the
+operations that dominate NDSNN training: convolution forward/backward,
+the LIF temporal loop, mask enforcement and a drop-and-grow round.
+"""
+
+import numpy as np
+import pytest
+
+from repro.optim import SGD
+from repro.snn import LIFNeuron, reset_net
+from repro.snn.models import SpikingConvNet
+from repro.sparse import NDSNN, MaskManager
+from repro.tensor import Tensor, conv2d, cross_entropy
+
+
+@pytest.fixture(scope="module")
+def conv_inputs():
+    rng = np.random.default_rng(0)
+    x = Tensor(rng.standard_normal((8, 16, 16, 16)).astype(np.float32), requires_grad=True)
+    w = Tensor(rng.standard_normal((32, 16, 3, 3)).astype(np.float32) * 0.1, requires_grad=True)
+    return x, w
+
+
+def test_conv2d_forward(benchmark, conv_inputs):
+    x, w = conv_inputs
+    benchmark(lambda: conv2d(x, w, None, padding=1))
+
+
+def test_conv2d_forward_backward(benchmark, conv_inputs):
+    x, w = conv_inputs
+
+    def run():
+        x.zero_grad()
+        w.zero_grad()
+        (conv2d(x, w, None, padding=1) ** 2).sum().backward()
+
+    benchmark(run)
+
+
+def test_lif_temporal_loop(benchmark):
+    rng = np.random.default_rng(1)
+    neuron = LIFNeuron()
+    frames = [Tensor(rng.standard_normal((16, 64)).astype(np.float32)) for _ in range(5)]
+
+    def run():
+        neuron.reset_state()
+        for frame in frames:
+            neuron(frame)
+
+    benchmark(run)
+
+
+def test_mask_enforcement(benchmark):
+    model = SpikingConvNet(
+        num_classes=10, image_size=16, channels=(32, 64), rng=np.random.default_rng(2)
+    )
+    masks = MaskManager(model, rng=np.random.default_rng(3))
+    masks.init_random({name: 0.1 for name in masks.masks})
+    benchmark(masks.apply_masks)
+
+
+def test_drop_and_grow_round(benchmark):
+    model = SpikingConvNet(
+        num_classes=10, image_size=16, channels=(32, 64),
+        timesteps=2, rng=np.random.default_rng(4),
+    )
+    method = NDSNN(
+        initial_sparsity=0.5, final_sparsity=0.95,
+        total_iterations=1000, update_frequency=10,
+        rng=np.random.default_rng(5),
+    )
+    optimizer = SGD(model.parameters(), lr=0.1, momentum=0.9)
+    method.bind(model, optimizer)
+    rng = np.random.default_rng(6)
+    x = Tensor(rng.standard_normal((4, 3, 16, 16)).astype(np.float32))
+    y = rng.integers(0, 10, 4)
+    loss = cross_entropy(model(x), y)
+    loss.backward()
+    iteration = {"value": 10}
+
+    def run():
+        method._drop_and_grow(iteration["value"])
+        iteration["value"] = min(iteration["value"] + 10, 990)
+
+    benchmark(run)
+
+
+def test_spiking_forward_pass(benchmark):
+    model = SpikingConvNet(
+        num_classes=10, image_size=16, channels=(16, 32),
+        timesteps=4, rng=np.random.default_rng(7),
+    )
+    x = Tensor(np.random.default_rng(8).standard_normal((8, 3, 16, 16)).astype(np.float32))
+    benchmark(lambda: model(x))

@@ -1,0 +1,79 @@
+"""Section III-D memory-footprint model (supplementary bench).
+
+Regenerates the training-memory comparison implied by the paper's
+analysis: footprint as a function of sparsity and timesteps, for the
+real (scaled) VGG-16 and ResNet-19 weight inventories, plus the
+inference footprints on the cited neuromorphic platforms.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.tables import format_table
+from repro.snn.models import build_model
+from repro.train import (
+    PLATFORM_WEIGHT_BITS,
+    dense_training_footprint_bits,
+    inference_footprint_bits,
+    model_footprint,
+)
+
+SPARSITIES = (0.0, 0.5, 0.9, 0.95, 0.98, 0.99)
+
+
+def _run_footprints():
+    results = {}
+    for name in ("vgg16", "resnet19"):
+        model = build_model(name, num_classes=10, image_size=32, width_mult=0.125)
+        reports = [model_footprint(model, sparsity=s, timesteps=5) for s in SPARSITIES]
+        results[name] = reports
+    return results
+
+
+def test_memory_footprint_model(benchmark):
+    results = benchmark.pedantic(_run_footprints, rounds=1, iterations=1)
+    for name, reports in results.items():
+        dense_bits = dense_training_footprint_bits(reports[0].total_weights, 5)
+        rows = [
+            (
+                f"{report.sparsity:.0%}",
+                report.megabytes,
+                report.bits / dense_bits,
+            )
+            for report in reports
+        ]
+        print()
+        print(
+            format_table(
+                ["sparsity", "train_footprint_MB", "vs_dense"],
+                rows,
+                title=f"§III-D training memory: {name} (T=5, fp32, 32-bit idx)",
+            )
+        )
+        footprints = [report.bits for report in reports]
+        assert all(b <= a for a, b in zip(footprints, footprints[1:])), (
+            "footprint must fall monotonically with sparsity"
+        )
+        # At 99% sparsity the memory saving is ~two orders of magnitude.
+        assert footprints[-1] < 0.05 * footprints[0]
+
+
+def test_inference_platform_presets(benchmark):
+    def run():
+        model = build_model("vgg16", num_classes=10, image_size=32, width_mult=0.125)
+        total = model_footprint(model, 0.0, 1).total_weights
+        return {
+            platform: inference_footprint_bits(total, 0.99, platform=platform) / 8 / 1024
+            for platform in PLATFORM_WEIGHT_BITS
+        }
+
+    sizes = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["platform", "deploy_KB_at_99%"],
+            sorted(sizes.items()),
+            title="Inference footprint by platform (§III-D citations)",
+        )
+    )
+    assert sizes["hicann"] < sizes["loihi"] < sizes["gpu_fp32"]

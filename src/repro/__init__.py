@@ -1,0 +1,39 @@
+"""NDSNN reproduction: Neurogenesis Dynamics-inspired SNN training
+acceleration (Huang et al., DAC 2023).
+
+Subpackages
+-----------
+``repro.tensor``
+    Numpy autograd engine (the compute substrate).
+``repro.nn``
+    Module system and standard layers.
+``repro.snn``
+    LIF neurons, surrogate gradients, encoders and the spiking model zoo.
+``repro.sparse``
+    NDSNN (the paper's contribution) plus LTH / SET / RigL / ADMM / dense
+    baselines, ERK distribution and the Eq. 4/5 schedules.
+``repro.optim``
+    SGD/Adam and LR schedulers.
+``repro.data``
+    Synthetic stand-ins for CIFAR-10/100 and Tiny-ImageNet.
+``repro.train``
+    Training loop, spike-rate tracking, cost and memory models.
+``repro.experiments``
+    Shared configs/runners used by the table/figure benchmarks.
+"""
+
+from . import data, experiments, nn, optim, snn, sparse, tensor, train
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "tensor",
+    "nn",
+    "snn",
+    "sparse",
+    "optim",
+    "data",
+    "train",
+    "experiments",
+    "__version__",
+]

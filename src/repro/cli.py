@@ -1,0 +1,158 @@
+"""Command-line interface: run reproduction experiments from the shell.
+
+Examples
+--------
+Run one cell of Table I and save the result::
+
+    python -m repro run --dataset cifar10 --model vgg16 --method ndsnn \
+        --sparsity 0.95 --epochs 10 --out result.json
+
+List the available models/methods/datasets::
+
+    python -m repro list
+
+Print the analytic memory footprint of a model::
+
+    python -m repro memory --model vgg16 --sparsity 0.99 --timesteps 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .data import DATASET_SPECS
+from .experiments import run_method, scaled_config
+from .experiments.tables import format_table
+from .snn.models import MODEL_REGISTRY, build_model
+from .train import model_footprint
+from .utils import save_json
+
+METHOD_CHOICES = ("dense", "ndsnn", "set", "rigl", "lth", "admm", "gmp", "snip")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="NDSNN (DAC 2023) reproduction command-line interface",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser("run", help="train one method on one workload")
+    run.add_argument("--dataset", default="cifar10", choices=sorted(DATASET_SPECS))
+    run.add_argument("--model", default="vgg16", choices=sorted(MODEL_REGISTRY))
+    run.add_argument("--method", default="ndsnn", choices=METHOD_CHOICES)
+    run.add_argument("--sparsity", type=float, default=0.9)
+    run.add_argument("--initial-sparsity", type=float, default=0.6)
+    run.add_argument("--epochs", type=int, default=10)
+    run.add_argument("--timesteps", type=int, default=2)
+    run.add_argument("--batch-size", type=int, default=16)
+    run.add_argument("--lr", type=float, default=0.1)
+    run.add_argument("--width-mult", type=float, default=0.125)
+    run.add_argument("--image-size", type=int, default=16)
+    run.add_argument("--train-samples", type=int, default=224)
+    run.add_argument("--test-samples", type=int, default=64)
+    run.add_argument("--update-frequency", type=int, default=8)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--out", default=None, help="write the outcome as JSON")
+    run.add_argument("--quiet", action="store_true")
+
+    commands.add_parser("list", help="list datasets, models and methods")
+
+    memory = commands.add_parser("memory", help="Section III-D footprint of a model")
+    memory.add_argument("--model", default="vgg16", choices=sorted(MODEL_REGISTRY))
+    memory.add_argument("--sparsity", type=float, default=0.9)
+    memory.add_argument("--timesteps", type=int, default=5)
+    memory.add_argument("--width-mult", type=float, default=1.0)
+    memory.add_argument("--image-size", type=int, default=32)
+    return parser
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    config = scaled_config(
+        args.dataset,
+        args.model,
+        args.method,
+        args.sparsity,
+        initial_sparsity=args.initial_sparsity,
+        epochs=args.epochs,
+        timesteps=args.timesteps,
+        batch_size=args.batch_size,
+        learning_rate=args.lr,
+        width_mult=args.width_mult,
+        image_size=args.image_size,
+        train_samples=args.train_samples,
+        test_samples=args.test_samples,
+        update_frequency=args.update_frequency,
+        seed=args.seed,
+    )
+    outcome = run_method(config, verbose=not args.quiet)
+    summary = {
+        "dataset": args.dataset,
+        "model": args.model,
+        "method": args.method,
+        "target_sparsity": args.sparsity,
+        "final_sparsity": outcome.final_sparsity,
+        "final_accuracy": outcome.final_accuracy,
+        "best_accuracy": outcome.best_accuracy,
+        "epochs_trained": len(outcome.history),
+        "history": [stats.as_dict() for stats in outcome.history],
+    }
+    print(
+        format_table(
+            ["dataset", "model", "method", "sparsity", "test_acc"],
+            [(args.dataset, args.model, args.method,
+              f"{outcome.final_sparsity:.3f}", outcome.final_accuracy)],
+        )
+    )
+    if args.out:
+        save_json(args.out, summary)
+        print(f"wrote {args.out}")
+    return 0
+
+
+def _command_list(_args: argparse.Namespace) -> int:
+    print("datasets:", ", ".join(sorted(DATASET_SPECS)))
+    print("models  :", ", ".join(sorted(MODEL_REGISTRY)))
+    print("methods :", ", ".join(METHOD_CHOICES))
+    return 0
+
+
+def _command_memory(args: argparse.Namespace) -> int:
+    model = build_model(
+        args.model,
+        num_classes=10,
+        image_size=args.image_size,
+        width_mult=args.width_mult,
+    )
+    report = model_footprint(model, sparsity=args.sparsity, timesteps=args.timesteps)
+    print(
+        format_table(
+            ["model", "weights", "sparsity", "timesteps", "train_MB"],
+            [(
+                args.model,
+                f"{report.total_weights:,}",
+                f"{report.sparsity:.0%}",
+                report.timesteps,
+                report.megabytes,
+            )],
+            title="Section III-D training memory footprint",
+        )
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "run": _command_run,
+        "list": _command_list,
+        "memory": _command_memory,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,65 @@
+"""Mini-batch loading with optional augmentation."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional, Tuple
+
+import numpy as np
+
+from ..tensor import Tensor
+
+
+class DataLoader:
+    """Iterate a dataset in shuffled mini-batches of Tensors.
+
+    Parameters
+    ----------
+    dataset:
+        Anything with ``__len__`` and ``__getitem__ -> (image, label)``.
+    transform:
+        Optional batch transform ``images -> images`` applied to the
+        stacked numpy batch (see :mod:`repro.data.augment`).
+    """
+
+    def __init__(
+        self,
+        dataset,
+        batch_size: int = 32,
+        shuffle: bool = True,
+        drop_last: bool = False,
+        transform: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.dataset = dataset
+        self.batch_size = int(batch_size)
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self.transform = transform
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    def __len__(self) -> int:
+        full, remainder = divmod(len(self.dataset), self.batch_size)
+        if remainder and not self.drop_last:
+            return full + 1
+        return full
+
+    def __iter__(self) -> Iterator[Tuple[Tensor, np.ndarray]]:
+        order = np.arange(len(self.dataset))
+        if self.shuffle:
+            self.rng.shuffle(order)
+        for start in range(0, len(order), self.batch_size):
+            indices = order[start:start + self.batch_size]
+            if self.drop_last and len(indices) < self.batch_size:
+                break
+            images = []
+            labels = np.empty(len(indices), dtype=np.int64)
+            for position, index in enumerate(indices):
+                image, label = self.dataset[int(index)]
+                images.append(image)
+                labels[position] = label
+            batch = np.stack(images)
+            if self.transform is not None:
+                batch = self.transform(batch)
+            yield Tensor(batch), labels

@@ -1,0 +1,28 @@
+"""Experiment configs and runners behind every table/figure bench."""
+
+from .config import SCALED_IMAGE_SIZE, SCALED_NUM_CLASSES, ExperimentConfig, scaled_config
+from .runner import (
+    ExperimentOutcome,
+    build_experiment_model,
+    build_loaders,
+    build_method,
+    iterations_per_epoch,
+    run_experiment,
+    run_lth_experiment,
+    run_method,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "scaled_config",
+    "SCALED_NUM_CLASSES",
+    "SCALED_IMAGE_SIZE",
+    "ExperimentOutcome",
+    "run_experiment",
+    "run_lth_experiment",
+    "run_method",
+    "build_loaders",
+    "build_experiment_model",
+    "build_method",
+    "iterations_per_epoch",
+]

@@ -1,0 +1,274 @@
+"""Experiment runners: build everything from a config and train.
+
+These runners are the single code path behind every table/figure bench
+and the examples, so the reproduction results always exercise the real
+library API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..data import DataLoader, make_dataset, standard_train_transform
+from ..optim import SGD, CosineAnnealingLR
+from ..snn.models import build_model
+from ..sparse import (
+    ADMMPruner,
+    DenseMethod,
+    GMPSNN,
+    LTHSNN,
+    NDSNN,
+    RigLSNN,
+    SETSNN,
+    SNIPSNN,
+    SparseTrainingMethod,
+)
+from ..train import EpochStats, Trainer
+from .config import ExperimentConfig
+
+
+@dataclass
+class ExperimentOutcome:
+    """Everything a table/figure needs from one training run."""
+
+    config: ExperimentConfig
+    final_accuracy: float
+    best_accuracy: float
+    final_sparsity: float
+    history: List[EpochStats] = field(default_factory=list)
+
+    @property
+    def spike_rates(self) -> List[float]:
+        return [s.spike_rate for s in self.history]
+
+    @property
+    def densities(self) -> List[float]:
+        return [s.density for s in self.history]
+
+    @property
+    def sparsities(self) -> List[float]:
+        return [s.sparsity for s in self.history]
+
+
+def build_loaders(config: ExperimentConfig, augment: bool = False):
+    """Train/test loaders for a config's dataset."""
+    rng = np.random.default_rng(config.seed + 1)
+    train_set = make_dataset(
+        config.dataset,
+        train=True,
+        num_samples=config.train_samples,
+        image_size=config.image_size,
+        num_classes=config.num_classes,
+        seed=config.seed,
+    )
+    test_set = make_dataset(
+        config.dataset,
+        train=False,
+        num_samples=config.test_samples,
+        image_size=config.image_size,
+        num_classes=config.num_classes,
+        seed=config.seed,
+    )
+    transform = standard_train_transform(padding=2, rng=rng) if augment else None
+    train_loader = DataLoader(
+        train_set, batch_size=config.batch_size, shuffle=True, transform=transform, rng=rng
+    )
+    test_loader = DataLoader(test_set, batch_size=config.batch_size, shuffle=False)
+    return train_loader, test_loader, train_set
+
+
+def build_experiment_model(config: ExperimentConfig, dataset=None):
+    """Model instance matching a config (and dataset geometry)."""
+    if dataset is not None:
+        num_classes = dataset.num_classes
+        image_size = dataset.spec.image_size
+        in_channels = dataset.spec.in_channels
+    else:
+        num_classes = config.num_classes or 10
+        image_size = config.image_size or 32
+        in_channels = 3
+    rng = np.random.default_rng(config.seed + 2)
+    kwargs = dict(
+        num_classes=num_classes,
+        in_channels=in_channels,
+        image_size=image_size,
+        timesteps=config.timesteps,
+        rng=rng,
+    )
+    if config.model != "convnet":
+        kwargs["width_mult"] = config.width_mult
+    return build_model(config.model, **kwargs)
+
+
+def iterations_per_epoch(config: ExperimentConfig) -> int:
+    """Number of optimizer steps per epoch under a config's loader."""
+    return max(1, (config.train_samples + config.batch_size - 1) // config.batch_size)
+
+
+def build_method(config: ExperimentConfig, total_iterations: int) -> SparseTrainingMethod:
+    """Instantiate the sparse-training method named in the config."""
+    rng = np.random.default_rng(config.seed + 3)
+    name = config.method
+    if name == "dense":
+        return DenseMethod()
+    if name == "ndsnn":
+        return NDSNN(
+            initial_sparsity=config.initial_sparsity,
+            final_sparsity=config.sparsity,
+            total_iterations=total_iterations,
+            update_frequency=config.update_frequency,
+            initial_death_rate=config.initial_death_rate,
+            minimum_death_rate=config.minimum_death_rate,
+            distribution=config.distribution,
+            growth_mode=config.growth_mode,
+            ramp_power=config.ramp_power,
+            rng=rng,
+        )
+    if name == "set":
+        return SETSNN(
+            sparsity=config.sparsity,
+            total_iterations=total_iterations,
+            update_frequency=config.update_frequency,
+            prune_rate=config.set_prune_rate,
+            distribution=config.distribution,
+            rng=rng,
+        )
+    if name == "rigl":
+        return RigLSNN(
+            sparsity=config.sparsity,
+            total_iterations=total_iterations,
+            update_frequency=config.update_frequency,
+            alpha=config.rigl_alpha,
+            stop_fraction=config.rigl_stop_fraction,
+            distribution=config.distribution,
+            rng=rng,
+        )
+    if name == "gmp":
+        return GMPSNN(
+            initial_sparsity=0.0,
+            final_sparsity=config.sparsity,
+            total_iterations=total_iterations,
+            update_frequency=config.update_frequency,
+            distribution=config.distribution,
+            ramp_power=config.ramp_power,
+            rng=rng,
+        )
+    if name == "snip":
+        return SNIPSNN(sparsity=config.sparsity, rng=rng)
+    if name == "admm":
+        return ADMMPruner(
+            sparsity=config.sparsity,
+            total_iterations=total_iterations,
+            admm_fraction=config.admm_fraction,
+            rho=config.admm_rho,
+            update_frequency=config.update_frequency,
+            distribution=config.distribution,
+            rng=rng,
+        )
+    raise ValueError(f"unknown method {name!r} (use run_lth_experiment for 'lth')")
+
+
+def run_experiment(config: ExperimentConfig, verbose: bool = False) -> ExperimentOutcome:
+    """Train one method per the config; returns accuracy and traces."""
+    train_loader, test_loader, train_set = build_loaders(config)
+    model = build_experiment_model(config, train_set)
+    optimizer = SGD(
+        model.parameters(),
+        lr=config.learning_rate,
+        momentum=config.momentum,
+        weight_decay=config.weight_decay,
+    )
+    scheduler = CosineAnnealingLR(optimizer, t_max=max(1, config.epochs))
+    total_iterations = iterations_per_epoch(config) * config.epochs
+    method = build_method(config, total_iterations)
+    trainer = Trainer(
+        model,
+        method,
+        optimizer,
+        train_loader,
+        test_loader=test_loader,
+        scheduler=scheduler,
+    )
+    result = trainer.fit(config.epochs, verbose=verbose)
+    return ExperimentOutcome(
+        config=config,
+        final_accuracy=result.final_accuracy,
+        best_accuracy=result.best_accuracy,
+        final_sparsity=method.sparsity(),
+        history=result.history,
+    )
+
+
+def run_lth_experiment(
+    config: ExperimentConfig,
+    rounds: Optional[int] = None,
+    epochs_per_round: Optional[int] = None,
+    verbose: bool = False,
+) -> ExperimentOutcome:
+    """Iterative magnitude pruning: ``rounds`` train/prune/rewind cycles.
+
+    The returned history concatenates every round's epochs, which is the
+    honest accounting for LTH's training cost (Fig. 5).
+    """
+    rounds = rounds if rounds is not None else config.lth_rounds
+    epochs_per_round = epochs_per_round if epochs_per_round is not None else config.epochs
+    train_loader, test_loader, train_set = build_loaders(config)
+    model = build_experiment_model(config, train_set)
+    controller = LTHSNN(
+        model,
+        target_sparsity=config.sparsity,
+        rounds=rounds,
+        rng=np.random.default_rng(config.seed + 3),
+    )
+    combined_history: List[EpochStats] = []
+    final_accuracy = 0.0
+    best_accuracy = 0.0
+    total_iterations = iterations_per_epoch(config) * epochs_per_round
+    for round_index in range(1, rounds + 1):
+        method = controller.method_for_round(round_index)
+        optimizer = SGD(
+            model.parameters(),
+            lr=config.learning_rate,
+            momentum=config.momentum,
+            weight_decay=config.weight_decay,
+        )
+        scheduler = CosineAnnealingLR(optimizer, t_max=max(1, epochs_per_round))
+        trainer = Trainer(
+            model,
+            method,
+            optimizer,
+            train_loader,
+            test_loader=test_loader,
+            scheduler=scheduler,
+        )
+        result = trainer.fit(epochs_per_round, verbose=verbose)
+        combined_history.extend(result.history)
+        final_accuracy = result.final_accuracy
+        best_accuracy = max(best_accuracy, result.best_accuracy)
+        controller.prune(round_index)
+        if round_index < rounds:
+            controller.rewind()
+        else:
+            # Final mask applied to the trained weights for evaluation.
+            for name, parameter in controller.parameters.items():
+                parameter.data *= controller.masks[name]
+            from ..train.metrics import evaluate
+
+            final_accuracy = evaluate(model, test_loader)
+    return ExperimentOutcome(
+        config=config,
+        final_accuracy=final_accuracy,
+        best_accuracy=best_accuracy,
+        final_sparsity=controller.current_sparsity(),
+        history=combined_history,
+    )
+
+
+def run_method(config: ExperimentConfig, verbose: bool = False) -> ExperimentOutcome:
+    """Dispatch on ``config.method``, including the LTH meta-method."""
+    if config.method == "lth":
+        return run_lth_experiment(config, verbose=verbose)
+    return run_experiment(config, verbose=verbose)

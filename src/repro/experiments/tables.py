@@ -1,0 +1,78 @@
+"""Plain-text table rendering for the reproduction benches.
+
+Formats results in the same row/column layout as the paper's tables so
+EXPERIMENTS.md can be filled by copy-paste from the bench output.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence], title: str = "") -> str:
+    """Monospace table with per-column alignment.
+
+    Floats are rendered with 2 decimal places (accuracy percent style).
+    """
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered: List[str] = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(f"{cell:.2f}")
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence, ys: Sequence[float], x_label: str = "x") -> str:
+    """Render a figure series as aligned text (for figure benches)."""
+    pairs = ", ".join(f"{x}:{y:.3f}" for x, y in zip(xs, ys))
+    return f"{name} [{x_label}] {pairs}"
+
+
+def ascii_plot(series: dict, width: int = 60, height: int = 12, title: str = "") -> str:
+    """Crude ASCII line chart of one or more named series.
+
+    Each series is a list of floats; x is the index, scaled to
+    ``width``.  Good enough to see the Fig. 1 sparsity-curve shapes in
+    bench output.
+    """
+    if not series:
+        return "(empty plot)"
+    all_values = [v for values in series.values() for v in values]
+    lo, hi = min(all_values), max(all_values)
+    if hi - lo < 1e-12:
+        hi = lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    markers = "*o+x#@"
+    for index, (name, values) in enumerate(sorted(series.items())):
+        marker = markers[index % len(markers)]
+        n = len(values)
+        for column in range(width):
+            position = column / max(1, width - 1) * (n - 1)
+            value = values[int(round(position))]
+            row = int((value - lo) / (hi - lo) * (height - 1))
+            grid[height - 1 - row][column] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"max={hi:.3f}")
+    lines.extend("".join(row) for row in grid)
+    lines.append(f"min={lo:.3f}")
+    for index, name in enumerate(sorted(series)):
+        lines.append(f"  {markers[index % len(markers)]} = {name}")
+    return "\n".join(lines)

@@ -1,0 +1,34 @@
+"""Neural network module system (Module, Parameter, standard layers)."""
+
+from . import init
+from .module import Module, Parameter
+from .layers import (
+    AvgPool2d,
+    BatchNorm1d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    Identity,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+)
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Linear",
+    "Conv2d",
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "AvgPool2d",
+    "MaxPool2d",
+    "Flatten",
+    "ReLU",
+    "Dropout",
+    "Identity",
+    "Sequential",
+    "init",
+]

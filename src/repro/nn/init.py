@@ -1,0 +1,60 @@
+"""Weight initialization schemes."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+_DEFAULT_RNG = np.random.default_rng(0)
+
+
+def _fan_in_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    """Compute fan-in/fan-out for linear (out, in) or conv (F, C, kh, kw)."""
+    if len(shape) == 2:
+        fan_out, fan_in = shape
+        return fan_in, fan_out
+    if len(shape) == 4:
+        f, c, kh, kw = shape
+        receptive = kh * kw
+        return c * receptive, f * receptive
+    raise ValueError(f"unsupported parameter shape {shape}")
+
+
+def kaiming_uniform(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None, gain: float = math.sqrt(2.0)) -> np.ndarray:
+    """He/Kaiming uniform init (default for conv/linear weights)."""
+    gen = rng if rng is not None else _DEFAULT_RNG
+    fan_in, _ = _fan_in_out(shape)
+    bound = gain * math.sqrt(3.0 / fan_in)
+    return gen.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def kaiming_normal(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None, gain: float = math.sqrt(2.0)) -> np.ndarray:
+    """He/Kaiming normal init."""
+    gen = rng if rng is not None else _DEFAULT_RNG
+    fan_in, _ = _fan_in_out(shape)
+    std = gain / math.sqrt(fan_in)
+    return (gen.standard_normal(shape) * std).astype(np.float32)
+
+
+def xavier_uniform(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Glorot/Xavier uniform init."""
+    gen = rng if rng is not None else _DEFAULT_RNG
+    fan_in, fan_out = _fan_in_out(shape)
+    bound = math.sqrt(6.0 / (fan_in + fan_out))
+    return gen.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def uniform_bias(shape: Tuple[int, ...], weight_shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Torch-style bias init: U(-1/sqrt(fan_in), 1/sqrt(fan_in))."""
+    gen = rng if rng is not None else _DEFAULT_RNG
+    fan_in, _ = _fan_in_out(weight_shape)
+    bound = 1.0 / math.sqrt(fan_in)
+    return gen.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def set_default_seed(seed: int) -> None:
+    """Reseed the module-level default initializer RNG."""
+    global _DEFAULT_RNG
+    _DEFAULT_RNG = np.random.default_rng(seed)

@@ -1,0 +1,15 @@
+"""Optimizers and learning-rate schedulers."""
+
+from .lr_scheduler import ConstantLR, CosineAnnealingLR, LRScheduler, MultiStepLR, StepLR
+from .sgd import SGD, Adam, Optimizer
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "LRScheduler",
+    "CosineAnnealingLR",
+    "StepLR",
+    "MultiStepLR",
+    "ConstantLR",
+]

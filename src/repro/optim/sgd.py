@@ -1,0 +1,149 @@
+"""Optimizers.
+
+SGD with momentum and weight decay is the paper's optimizer (momentum
+0.9, weight decay 5e-4).  Both optimizers expose
+:meth:`reset_state_entries` so drop-and-grow methods can zero stale
+momentum at newly grown connections, and :meth:`state_for` so momentum
+can serve as a growth criterion.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from ..nn.module import Parameter
+
+
+class Optimizer:
+    """Base optimizer over a parameter list."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float) -> None:
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer got an empty parameter list")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = float(lr)
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def state_for(self, parameter: Parameter) -> Optional[np.ndarray]:
+        """Primary state buffer (momentum) for ``parameter``, if any."""
+        return None
+
+    def reset_state_entries(self, parameter: Parameter, flat_indices: np.ndarray) -> None:
+        """Zero optimizer state at the given flat positions of ``parameter``."""
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with momentum and weight decay.
+
+    Matches torch semantics: ``v = mu*v + g + wd*w``; ``w -= lr*v``.
+    """
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 0.1,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        nesterov: bool = False,
+    ) -> None:
+        super().__init__(parameters, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        if weight_decay < 0.0:
+            raise ValueError(f"weight decay must be non-negative, got {weight_decay}")
+        if nesterov and momentum == 0.0:
+            raise ValueError("nesterov momentum requires momentum > 0")
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self.nesterov = nesterov
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        for parameter in self.parameters:
+            if parameter.grad is None:
+                continue
+            gradient = parameter.grad
+            if self.weight_decay:
+                gradient = gradient + self.weight_decay * parameter.data
+            if self.momentum:
+                velocity = self._velocity.get(id(parameter))
+                if velocity is None:
+                    velocity = np.zeros_like(parameter.data)
+                velocity = self.momentum * velocity + gradient
+                self._velocity[id(parameter)] = velocity
+                if self.nesterov:
+                    gradient = gradient + self.momentum * velocity
+                else:
+                    gradient = velocity
+            parameter.data -= self.lr * gradient
+
+    def state_for(self, parameter: Parameter) -> Optional[np.ndarray]:
+        return self._velocity.get(id(parameter))
+
+    def reset_state_entries(self, parameter: Parameter, flat_indices: np.ndarray) -> None:
+        velocity = self._velocity.get(id(parameter))
+        if velocity is not None and flat_indices.size:
+            velocity.reshape(-1)[flat_indices] = 0.0
+
+
+class Adam(Optimizer):
+    """Adam optimizer (extension; the paper uses SGD)."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas=(0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        self.beta1, self.beta2 = betas
+        if not 0.0 <= self.beta1 < 1.0 or not 0.0 <= self.beta2 < 1.0:
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        self.eps = float(eps)
+        self.weight_decay = float(weight_decay)
+        self._m: Dict[int, np.ndarray] = {}
+        self._v: Dict[int, np.ndarray] = {}
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        for parameter in self.parameters:
+            if parameter.grad is None:
+                continue
+            gradient = parameter.grad
+            if self.weight_decay:
+                gradient = gradient + self.weight_decay * parameter.data
+            key = id(parameter)
+            m = self._m.get(key)
+            v = self._v.get(key)
+            if m is None:
+                m = np.zeros_like(parameter.data)
+                v = np.zeros_like(parameter.data)
+            m = self.beta1 * m + (1 - self.beta1) * gradient
+            v = self.beta2 * v + (1 - self.beta2) * gradient ** 2
+            self._m[key] = m
+            self._v[key] = v
+            m_hat = m / (1 - self.beta1 ** self._t)
+            v_hat = v / (1 - self.beta2 ** self._t)
+            parameter.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_for(self, parameter: Parameter) -> Optional[np.ndarray]:
+        return self._m.get(id(parameter))
+
+    def reset_state_entries(self, parameter: Parameter, flat_indices: np.ndarray) -> None:
+        for store in (self._m, self._v):
+            buffer = store.get(id(parameter))
+            if buffer is not None and flat_indices.size:
+                buffer.reshape(-1)[flat_indices] = 0.0

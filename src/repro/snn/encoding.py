@@ -1,0 +1,90 @@
+"""Input encoders: analog images to spike (or current) trains."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+from ..tensor import Tensor
+
+
+class DirectEncoder:
+    """Direct (constant-current) encoding.
+
+    The analog image is presented unchanged at every timestep and the
+    first convolution layer acts as a learnable spike encoder.  This is
+    the standard approach for CIFAR-scale SNNs (and what SpikingJelly's
+    CIFAR examples — the paper's substrate — use).
+    """
+
+    def __init__(self, timesteps: int) -> None:
+        if timesteps < 1:
+            raise ValueError("timesteps must be >= 1")
+        self.timesteps = timesteps
+
+    def __call__(self, x: Tensor) -> Iterator[Tensor]:
+        for _ in range(self.timesteps):
+            yield x
+
+    def __repr__(self) -> str:
+        return f"DirectEncoder(T={self.timesteps})"
+
+
+class PoissonEncoder:
+    """Poisson rate encoding: pixel intensity = firing probability.
+
+    Input values are expected in [0, 1]; each timestep emits a Bernoulli
+    spike map.  Provided for the rate-coded ablation/examples.
+    """
+
+    def __init__(self, timesteps: int, rng: Optional[np.random.Generator] = None) -> None:
+        if timesteps < 1:
+            raise ValueError("timesteps must be >= 1")
+        self.timesteps = timesteps
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    def __call__(self, x: Tensor) -> Iterator[Tensor]:
+        probabilities = np.clip(x.data, 0.0, 1.0)
+        for _ in range(self.timesteps):
+            spikes = (self._rng.random(probabilities.shape) < probabilities).astype(np.float32)
+            yield Tensor(spikes)
+
+    def __repr__(self) -> str:
+        return f"PoissonEncoder(T={self.timesteps})"
+
+
+class LatencyEncoder:
+    """Time-to-first-spike encoding: brighter pixels fire earlier.
+
+    Each input in [0, 1] produces exactly one spike at timestep
+    ``round((1 - x) * (T - 1))``.  Included as an extension encoder.
+    """
+
+    def __init__(self, timesteps: int) -> None:
+        if timesteps < 1:
+            raise ValueError("timesteps must be >= 1")
+        self.timesteps = timesteps
+
+    def __call__(self, x: Tensor) -> Iterator[Tensor]:
+        intensity = np.clip(x.data, 0.0, 1.0)
+        fire_step = np.rint((1.0 - intensity) * (self.timesteps - 1)).astype(np.int64)
+        for t in range(self.timesteps):
+            yield Tensor((fire_step == t).astype(np.float32))
+
+    def __repr__(self) -> str:
+        return f"LatencyEncoder(T={self.timesteps})"
+
+
+def build_encoder(name: str, timesteps: int, **kwargs):
+    """Factory: ``direct``, ``poisson`` or ``latency``."""
+    encoders = {
+        "direct": DirectEncoder,
+        "poisson": PoissonEncoder,
+        "latency": LatencyEncoder,
+    }
+    try:
+        cls = encoders[name]
+    except KeyError:
+        raise ValueError(f"unknown encoder {name!r}; available: {sorted(encoders)}") from None
+    return cls(timesteps, **kwargs)

@@ -1,0 +1,59 @@
+"""Network-level utilities for stateful spiking models."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..nn.module import Module
+from .neuron import BaseNeuron
+
+
+def reset_net(model: Module) -> None:
+    """Reset the membrane state of every spiking neuron in ``model``.
+
+    Must be called between independent input samples (the spiking state
+    is part of the computation graph and must not leak across batches).
+    """
+    for module in model.modules():
+        if isinstance(module, BaseNeuron):
+            module.reset_state()
+
+
+def reset_spike_stats(model: Module) -> None:
+    """Zero spike-rate counters of every neuron in ``model``."""
+    for module in model.modules():
+        if isinstance(module, BaseNeuron):
+            module.reset_spike_stats()
+
+
+def spike_rate(model: Module) -> float:
+    """Average spikes per neuron per timestep across the whole network.
+
+    This is the quantity ``R`` used in the paper's Section IV-C training
+    cost formula ``cost_i = (R_s^i * density_i) / R_d^i``.
+    """
+    total_spikes = 0.0
+    total_steps = 0
+    for module in model.modules():
+        if isinstance(module, BaseNeuron):
+            total_spikes += module.spike_count
+            total_steps += module.neuron_steps
+    if total_steps == 0:
+        return 0.0
+    return total_spikes / total_steps
+
+
+def spike_rates_per_layer(model: Module) -> Dict[str, float]:
+    """Per-neuron-layer spike rate, keyed by module path."""
+    rates: Dict[str, float] = {}
+    for name, module in model.named_modules():
+        if isinstance(module, BaseNeuron):
+            rates[name or module.__class__.__name__] = module.spike_rate
+    return rates
+
+
+def set_spike_tracking(model: Module, enabled: bool) -> None:
+    """Enable/disable spike counting on every neuron (tiny speedup off)."""
+    for module in model.modules():
+        if isinstance(module, BaseNeuron):
+            module.track_spikes = enabled

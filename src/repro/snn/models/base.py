@@ -1,0 +1,82 @@
+"""Base class shared by the spiking model zoo.
+
+A spiking model wraps a stateful backbone in a temporal loop: the input
+is presented for ``T`` timesteps (direct encoding by default), the
+backbone produces per-timestep logits, and the classifier output is the
+mean of those logits — the standard readout for directly-trained
+CIFAR-scale SNNs and the one the paper's SpikingJelly substrate uses.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...nn.module import Module
+from ...tensor import Tensor
+from ..encoding import DirectEncoder
+from ..functional import reset_net
+from ..neuron import BaseNeuron, IFNeuron, LIFNeuron, ParametricLIFNeuron
+from ..surrogate import get_surrogate
+
+
+def make_neuron(
+    alpha: float = 0.5,
+    v_threshold: float = 1.0,
+    surrogate: Optional[object] = None,
+    kind: str = "lif",
+) -> BaseNeuron:
+    """Construct a zoo neuron: ``lif`` (default), ``if``, ``plif`` or ``alif``."""
+    if isinstance(surrogate, str):
+        surrogate = get_surrogate(surrogate)
+    if kind == "lif":
+        return LIFNeuron(alpha=alpha, v_threshold=v_threshold, surrogate=surrogate)
+    if kind == "if":
+        return IFNeuron(v_threshold=v_threshold, surrogate=surrogate)
+    if kind == "plif":
+        return ParametricLIFNeuron(
+            init_alpha=alpha, v_threshold=v_threshold, surrogate=surrogate
+        )
+    if kind == "alif":
+        from ..extensions import AdaptiveLIFNeuron
+
+        return AdaptiveLIFNeuron(alpha=alpha, v_threshold=v_threshold, surrogate=surrogate)
+    raise ValueError(f"unknown neuron kind {kind!r} (lif, if, plif, alif)")
+
+
+def scaled_width(channels: int, width_mult: float, minimum: int = 4) -> int:
+    """Scale a channel count by ``width_mult`` with a floor of ``minimum``."""
+    return max(minimum, int(round(channels * width_mult)))
+
+
+class SpikingModel(Module):
+    """Temporal wrapper: runs the stateful backbone for ``timesteps``.
+
+    Subclasses implement :meth:`forward_once` (a single-timestep pass)
+    and inherit the temporal averaging readout.
+    """
+
+    def __init__(self, timesteps: int = 5) -> None:
+        super().__init__()
+        if timesteps < 1:
+            raise ValueError("timesteps must be >= 1")
+        self.timesteps = timesteps
+        self.encoder = DirectEncoder(timesteps)
+
+    def forward_once(self, x: Tensor) -> Tensor:
+        raise NotImplementedError
+
+    def forward(self, x: Tensor) -> Tensor:
+        reset_net(self)
+        accumulated: Optional[Tensor] = None
+        for frame in self.encoder(x):
+            logits = self.forward_once(frame)
+            accumulated = logits if accumulated is None else accumulated + logits
+        return accumulated * (1.0 / self.timesteps)
+
+
+def flattened_spatial(image_size: int, num_halvings: int) -> int:
+    """Spatial edge length after ``num_halvings`` stride-2 reductions."""
+    size = image_size
+    for _ in range(num_halvings):
+        size = max(1, size // 2)
+    return size

@@ -1,0 +1,204 @@
+"""Spiking neuron models with BPTT-compatible state.
+
+The Leaky Integrate-and-Fire (LIF) neuron implements the paper's Eq. 1:
+
+    v[t] = alpha * v[t-1] + sum_i w_i s_i[t] - theta * o[t-1]   (1a)
+    o[t] = u(v[t] - theta)                                       (1b)
+
+where ``u`` is the Heaviside step.  The subtraction of ``theta * o[t-1]``
+is the *soft reset*: a neuron that fired loses one threshold's worth of
+potential on the next step.  The Heaviside derivative is replaced by a
+surrogate (Eq. 3) during the backward pass, so the whole temporal
+unrolling is trainable with BPTT.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn.module import Module
+from ..tensor import Tensor, is_grad_enabled
+from .surrogate import FastInverse, SurrogateFunction, get_surrogate
+
+
+def spike_function(x: Tensor, surrogate: SurrogateFunction) -> Tensor:
+    """Heaviside forward with surrogate-gradient backward.
+
+    ``x`` is the membrane potential already shifted by the threshold,
+    so the spike condition is ``x >= 0``.
+    """
+    spikes = (x.data >= 0.0).astype(np.float32)
+    requires = is_grad_enabled() and x.requires_grad
+    out = Tensor(spikes, requires_grad=requires, _prev=(x,) if requires else (), _op="spike")
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * surrogate(x.data).astype(np.float32))
+
+    out._backward = backward
+    return out
+
+
+class BaseNeuron(Module):
+    """Common state handling and spike accounting for spiking neurons.
+
+    Attributes
+    ----------
+    spike_count / neuron_steps:
+        Detached counters used to compute the average spike rate, which
+        feeds the paper's Section IV-C training-cost model.
+    """
+
+    def __init__(
+        self,
+        v_threshold: float = 1.0,
+        surrogate: Optional[SurrogateFunction] = None,
+        track_spikes: bool = True,
+    ) -> None:
+        super().__init__()
+        self.v_threshold = float(v_threshold)
+        self.surrogate = surrogate if surrogate is not None else FastInverse()
+        self.track_spikes = track_spikes
+        self.v: Optional[Tensor] = None
+        self.o_prev: Optional[Tensor] = None
+        self.spike_count = 0.0
+        self.neuron_steps = 0
+
+    def reset_state(self) -> None:
+        """Clear membrane potential and previous output (between samples)."""
+        self.v = None
+        self.o_prev = None
+
+    def reset_spike_stats(self) -> None:
+        """Zero the spike-rate accounting counters."""
+        self.spike_count = 0.0
+        self.neuron_steps = 0
+
+    def _record(self, spikes: Tensor) -> None:
+        if self.track_spikes:
+            self.spike_count += float(spikes.data.sum())
+            self.neuron_steps += int(spikes.data.size)
+
+    @property
+    def spike_rate(self) -> float:
+        """Average spikes per neuron per timestep since the last reset."""
+        if self.neuron_steps == 0:
+            return 0.0
+        return self.spike_count / self.neuron_steps
+
+
+class LIFNeuron(BaseNeuron):
+    """Leaky Integrate-and-Fire neuron (paper Eq. 1, soft reset).
+
+    Parameters
+    ----------
+    alpha:
+        Membrane decay factor in ``(0, 1]``.
+    v_threshold:
+        Firing threshold ``theta``.
+    surrogate:
+        Pseudo-derivative used in the backward pass; defaults to the
+        paper's fast-inverse function (Eq. 3).
+    """
+
+    def __init__(
+        self,
+        alpha: float = 0.5,
+        v_threshold: float = 1.0,
+        surrogate: Optional[SurrogateFunction] = None,
+        track_spikes: bool = True,
+    ) -> None:
+        super().__init__(v_threshold=v_threshold, surrogate=surrogate, track_spikes=track_spikes)
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must lie in (0, 1]")
+        self.alpha = float(alpha)
+
+    def forward(self, current: Tensor) -> Tensor:
+        if self.v is None:
+            self.v = current
+        else:
+            membrane = self.v * self.alpha + current
+            if self.o_prev is not None:
+                membrane = membrane - self.o_prev * self.v_threshold
+            self.v = membrane
+        spikes = spike_function(self.v - self.v_threshold, self.surrogate)
+        self.o_prev = spikes
+        self._record(spikes)
+        return spikes
+
+    def __repr__(self) -> str:
+        return f"LIFNeuron(alpha={self.alpha}, threshold={self.v_threshold})"
+
+
+class IFNeuron(BaseNeuron):
+    """Integrate-and-Fire neuron: LIF without leak (``alpha = 1``)."""
+
+    def forward(self, current: Tensor) -> Tensor:
+        if self.v is None:
+            self.v = current
+        else:
+            membrane = self.v + current
+            if self.o_prev is not None:
+                membrane = membrane - self.o_prev * self.v_threshold
+            self.v = membrane
+        spikes = spike_function(self.v - self.v_threshold, self.surrogate)
+        self.o_prev = spikes
+        self._record(spikes)
+        return spikes
+
+    def __repr__(self) -> str:
+        return f"IFNeuron(threshold={self.v_threshold})"
+
+
+class ParametricLIFNeuron(BaseNeuron):
+    """LIF with a learnable decay (PLIF, Fang et al. ICCV 2021).
+
+    The decay is ``sigmoid(w)`` so it stays in (0, 1) while ``w`` is
+    trained by BPTT alongside the synaptic weights.  Included as one of
+    the paper's natural extensions (learnable temporal dynamics).
+    """
+
+    def __init__(
+        self,
+        init_alpha: float = 0.5,
+        v_threshold: float = 1.0,
+        surrogate: Optional[SurrogateFunction] = None,
+        track_spikes: bool = True,
+    ) -> None:
+        super().__init__(v_threshold=v_threshold, surrogate=surrogate, track_spikes=track_spikes)
+        from ..nn.module import Parameter  # local import to avoid cycle at module load
+
+        logit = np.log(init_alpha / (1.0 - init_alpha)).astype(np.float32)
+        self.decay_logit = Parameter(np.array([logit], dtype=np.float32))
+
+    def forward(self, current: Tensor) -> Tensor:
+        alpha = self.decay_logit.sigmoid()
+        if self.v is None:
+            self.v = current
+        else:
+            membrane = self.v * alpha + current
+            if self.o_prev is not None:
+                membrane = membrane - self.o_prev * self.v_threshold
+            self.v = membrane
+        spikes = spike_function(self.v - self.v_threshold, self.surrogate)
+        self.o_prev = spikes
+        self._record(spikes)
+        return spikes
+
+    def __repr__(self) -> str:
+        alpha = float(1.0 / (1.0 + np.exp(-self.decay_logit.data[0])))
+        return f"ParametricLIFNeuron(alpha={alpha:.3f}, threshold={self.v_threshold})"
+
+
+def build_neuron(kind: str = "lif", **kwargs) -> BaseNeuron:
+    """Factory for neuron models: ``lif``, ``if`` or ``plif``."""
+    surrogate = kwargs.pop("surrogate", None)
+    if isinstance(surrogate, str):
+        surrogate = get_surrogate(surrogate)
+    kinds = {"lif": LIFNeuron, "if": IFNeuron, "plif": ParametricLIFNeuron}
+    try:
+        cls = kinds[kind]
+    except KeyError:
+        raise ValueError(f"unknown neuron kind {kind!r}; available: {sorted(kinds)}") from None
+    return cls(surrogate=surrogate, **kwargs)

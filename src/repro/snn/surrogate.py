@@ -1,0 +1,125 @@
+"""Surrogate gradient functions for the Heaviside spike nonlinearity.
+
+Forward passes emit binary spikes; backward passes replace the Dirac
+delta with a smooth pseudo-derivative.  The paper (Eq. 3) uses the
+"fast inverse" surrogate of Fang et al. (NeurIPS 2021):
+
+    u'(x) ~= 1 / (1 + pi^2 x^2)
+
+Alternatives are provided for the ablation study in
+``benchmarks/bench_ablation_surrogate.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict
+
+import numpy as np
+
+
+class SurrogateFunction:
+    """Base class: callable returning the pseudo-derivative at ``x``.
+
+    ``x`` is the membrane potential minus the threshold, so the
+    surrogate is centred at the firing boundary.
+    """
+
+    name = "base"
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{self.__class__.__name__}()"
+
+
+class FastInverse(SurrogateFunction):
+    """Paper Eq. 3: ``1 / (1 + (pi * x)^2)`` (scaled inverse-square)."""
+
+    name = "fast_inverse"
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return 1.0 / (1.0 + (math.pi ** 2) * x ** 2)
+
+
+class ATan(SurrogateFunction):
+    """SpikingJelly-style arctangent surrogate.
+
+    Derivative of ``(1/pi) * arctan(pi/2 * alpha * x) + 1/2``.
+    """
+
+    name = "atan"
+
+    def __init__(self, alpha: float = 2.0) -> None:
+        self.alpha = alpha
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        inner = (math.pi / 2.0) * self.alpha * x
+        return (self.alpha / 2.0) / (1.0 + inner ** 2)
+
+
+class SigmoidSurrogate(SurrogateFunction):
+    """Derivative of a steep sigmoid ``sigma(alpha x)``."""
+
+    name = "sigmoid"
+
+    def __init__(self, alpha: float = 4.0) -> None:
+        self.alpha = alpha
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        s = 1.0 / (1.0 + np.exp(-self.alpha * x))
+        return self.alpha * s * (1.0 - s)
+
+
+class Triangle(SurrogateFunction):
+    """Piecewise-linear (triangular) surrogate ``max(0, 1 - |x|/gamma)/gamma``."""
+
+    name = "triangle"
+
+    def __init__(self, gamma: float = 1.0) -> None:
+        self.gamma = gamma
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return np.maximum(0.0, 1.0 - np.abs(x) / self.gamma) / self.gamma
+
+
+class StraightThrough(SurrogateFunction):
+    """Boxcar straight-through estimator: 1 inside ``|x| <= width/2``."""
+
+    name = "ste"
+
+    def __init__(self, width: float = 1.0) -> None:
+        self.width = width
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return (np.abs(x) <= self.width / 2.0).astype(np.float32)
+
+
+_REGISTRY: Dict[str, Callable[[], SurrogateFunction]] = {
+    FastInverse.name: FastInverse,
+    ATan.name: ATan,
+    SigmoidSurrogate.name: SigmoidSurrogate,
+    Triangle.name: Triangle,
+    StraightThrough.name: StraightThrough,
+}
+
+
+def get_surrogate(name: str, **kwargs) -> SurrogateFunction:
+    """Build a surrogate function by registry name.
+
+    >>> get_surrogate("fast_inverse")
+    FastInverse()
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown surrogate {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return factory(**kwargs)
+
+
+def available_surrogates() -> list:
+    """Names of all registered surrogate functions."""
+    return sorted(_REGISTRY)

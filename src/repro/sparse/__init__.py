@@ -1,0 +1,85 @@
+"""Sparse-training core: NDSNN (the paper's contribution) and baselines."""
+
+from .admm import ADMMPruner
+from .analysis import (
+    DegreeStats,
+    analyze_masks,
+    degree_statistics,
+    input_output_connectivity,
+    layer_chain_graph,
+    mask_bipartite_graph,
+    topology_change,
+)
+from .base import DenseMethod, SparseTrainingMethod, StaticMaskMethod
+from .gmp import GMPSNN
+from .snip import SNIPSNN
+from .structured import StructuredFilterPruning, filter_norms
+from .storage import CSRMatrix, csr_decode, csr_encode, model_csr_storage_bits
+from .inference import (
+    CSRConv2d,
+    CSRLinear,
+    compress_model,
+    compressed_storage_bits,
+    compression_report,
+)
+from .erk import (
+    build_distribution,
+    erk_densities,
+    erk_sparsities,
+    global_density,
+    uniform_densities,
+)
+from .lth import LTHSNN
+from .mask import MaskManager, sparsifiable_parameters
+from .ndsnn import NDSNN, UpdateRecord
+from .rigl_snn import RigLSNN
+from .schedule import (
+    ConstantDeathSchedule,
+    CosineDeathSchedule,
+    LayerwiseSparsityRamp,
+    SparsityRamp,
+)
+from .set_snn import SETSNN
+
+__all__ = [
+    "DegreeStats",
+    "degree_statistics",
+    "analyze_masks",
+    "mask_bipartite_graph",
+    "layer_chain_graph",
+    "input_output_connectivity",
+    "topology_change",
+    "SparseTrainingMethod",
+    "DenseMethod",
+    "StaticMaskMethod",
+    "NDSNN",
+    "UpdateRecord",
+    "SETSNN",
+    "RigLSNN",
+    "LTHSNN",
+    "ADMMPruner",
+    "GMPSNN",
+    "SNIPSNN",
+    "StructuredFilterPruning",
+    "filter_norms",
+    "CSRMatrix",
+    "csr_encode",
+    "csr_decode",
+    "model_csr_storage_bits",
+    "CSRLinear",
+    "CSRConv2d",
+    "compress_model",
+    "compressed_storage_bits",
+    "compression_report",
+    "MaskManager",
+    "sparsifiable_parameters",
+    "erk_densities",
+    "erk_sparsities",
+    "uniform_densities",
+    "global_density",
+    "build_distribution",
+    "SparsityRamp",
+    "LayerwiseSparsityRamp",
+    "CosineDeathSchedule",
+    "ConstantDeathSchedule",
+]

@@ -1,0 +1,151 @@
+"""ADMM pruning baseline (Deng et al., TNNLS 2021 — paper Table II).
+
+Alternating Direction Method of Multipliers pruning trains *dense*
+weights under an augmented-Lagrangian penalty that pulls them towards a
+sparse auxiliary variable ``Z``:
+
+    min_W  L(W) + (rho/2) ||W - Z + U||^2
+    Z <- Pi_S(W + U)        (projection onto the sparsity constraint)
+    U <- U + W - Z           (dual ascent)
+
+After the ADMM phase, weights are hard-pruned by magnitude to the
+target per-layer sparsity and the surviving weights are fine-tuned
+under a static mask (the classic train-prune-retrain shape of Fig. 1's
+orange curve).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .base import SparseTrainingMethod
+from .erk import build_distribution
+from .mask import MaskManager
+
+
+class ADMMPruner(SparseTrainingMethod):
+    """Train-prune-retrain with ADMM regularization.
+
+    Parameters
+    ----------
+    sparsity:
+        Target global sparsity after hard pruning.
+    total_iterations:
+        Length of the full run; the first ``admm_fraction`` of it is the
+        ADMM (dense) phase, the rest is masked fine-tuning.
+    rho:
+        Penalty coefficient of the augmented Lagrangian.
+    update_frequency:
+        Iterations between ``Z``/``U`` updates.
+    """
+
+    name = "admm"
+
+    def __init__(
+        self,
+        sparsity: float = 0.9,
+        total_iterations: int = 1000,
+        admm_fraction: float = 0.5,
+        rho: float = 1e-2,
+        update_frequency: int = 50,
+        distribution: str = "erk",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if not 0.0 < sparsity < 1.0:
+            raise ValueError(f"sparsity must be in (0, 1), got {sparsity}")
+        if not 0.0 < admm_fraction < 1.0:
+            raise ValueError(f"admm_fraction must be in (0, 1), got {admm_fraction}")
+        self.target_sparsity = float(sparsity)
+        self.total_iterations = int(total_iterations)
+        self.admm_fraction = float(admm_fraction)
+        self.rho = float(rho)
+        self.update_frequency = int(update_frequency)
+        self.distribution = distribution
+        self._rng = rng
+        self.Z: Dict[str, np.ndarray] = {}
+        self.U: Dict[str, np.ndarray] = {}
+        self.densities: Dict[str, float] = {}
+        self.pruned = False
+        self.sparsity_trace: List[float] = []
+
+    @property
+    def admm_end(self) -> int:
+        """Iteration at which hard pruning happens."""
+        return int(self.total_iterations * self.admm_fraction)
+
+    def setup(self) -> None:
+        self.masks = MaskManager(self.model, rng=self._rng)
+        self.densities = build_distribution(
+            self.distribution, self.masks.shapes, 1.0 - self.target_sparsity
+        )
+        self.Z = {}
+        self.U = {}
+        for name, parameter in self.masks.parameters.items():
+            self.U[name] = np.zeros(parameter.shape, dtype=np.float32)
+            self.Z[name] = self._project(parameter.data, self.densities[name])
+        self.pruned = False
+        self.sparsity_trace = []
+
+    @staticmethod
+    def _project(weights: np.ndarray, density: float) -> np.ndarray:
+        """Euclidean projection onto the k-sparse set (keep top-|w|)."""
+        flat = weights.reshape(-1)
+        keep = max(1, int(round(density * flat.size)))
+        projected = np.zeros_like(flat)
+        order = np.argpartition(np.abs(flat), flat.size - keep)[flat.size - keep:]
+        projected[order] = flat[order]
+        return projected.reshape(weights.shape)
+
+    def after_backward(self, iteration: int) -> None:
+        if self.pruned:
+            self.masks.apply_to_gradients()
+            return
+        if iteration >= self.admm_end:
+            self._hard_prune()
+            self.masks.apply_to_gradients()
+            return
+        # ADMM phase: dense training with the augmented-Lagrangian pull.
+        for name, parameter in self.masks.parameters.items():
+            if parameter.grad is None:
+                continue
+            parameter.grad += self.rho * (parameter.data - self.Z[name] + self.U[name])
+        if iteration > 0 and iteration % self.update_frequency == 0:
+            self._dual_update()
+
+    def _dual_update(self) -> None:
+        for name, parameter in self.masks.parameters.items():
+            self.Z[name] = self._project(parameter.data + self.U[name], self.densities[name])
+            self.U[name] += parameter.data - self.Z[name]
+
+    def _hard_prune(self) -> None:
+        """Magnitude-prune to the target distribution, freeze the mask."""
+        for name in self.masks.masks:
+            parameter = self.masks.parameters[name]
+            density = self.densities[name]
+            keep = max(1, int(round(density * parameter.size)))
+            flat = np.abs(parameter.data.reshape(-1))
+            order = np.argpartition(flat, flat.size - keep)[flat.size - keep:]
+            mask = np.zeros(parameter.size, dtype=np.float32)
+            mask[order] = 1.0
+            self.masks.set_mask(name, mask.reshape(parameter.shape))
+        self.masks.apply_masks()
+        self.pruned = True
+
+    def after_step(self, iteration: int) -> None:
+        if self.pruned:
+            self.masks.apply_masks()
+        self.sparsity_trace.append(self.sparsity())
+
+    def sparsity(self) -> float:
+        if not self.pruned:
+            return 0.0
+        return self.masks.sparsity()
+
+    def __repr__(self) -> str:
+        return (
+            f"ADMMPruner(sparsity={self.target_sparsity}, rho={self.rho}, "
+            f"admm_fraction={self.admm_fraction})"
+        )

@@ -1,0 +1,138 @@
+"""Topology analysis of sparse masks.
+
+Dynamic sparse training is topology search; these utilities quantify
+what the drop-and-grow process discovers — degree distributions, dead
+units, and input-to-output connectivity — in the spirit of the analyses
+in the SET/RigL literature.  Useful for diagnosing why one growth
+criterion beats another.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import networkx as nx
+import numpy as np
+
+
+def _as_matrix(mask: np.ndarray) -> np.ndarray:
+    """Collapse a conv mask (F, C, kh, kw) to (F, C*kh*kw)."""
+    if mask.ndim == 2:
+        return mask
+    if mask.ndim == 4:
+        return mask.reshape(mask.shape[0], -1)
+    raise ValueError(f"unsupported mask rank {mask.ndim}")
+
+
+@dataclass
+class DegreeStats:
+    """In/out degree summary of one sparse layer."""
+
+    mean_in: float
+    mean_out: float
+    std_in: float
+    std_out: float
+    dead_outputs: int
+    dead_inputs: int
+
+    @property
+    def has_dead_units(self) -> bool:
+        return self.dead_outputs > 0 or self.dead_inputs > 0
+
+
+def degree_statistics(mask: np.ndarray) -> DegreeStats:
+    """Degree statistics of one layer's mask.
+
+    Rows are output units (filters/neurons), columns input connections.
+    """
+    matrix = _as_matrix(np.asarray(mask))
+    out_degree = matrix.sum(axis=1)
+    in_degree = matrix.sum(axis=0)
+    return DegreeStats(
+        mean_in=float(in_degree.mean()),
+        mean_out=float(out_degree.mean()),
+        std_in=float(in_degree.std()),
+        std_out=float(out_degree.std()),
+        dead_outputs=int((out_degree == 0).sum()),
+        dead_inputs=int((in_degree == 0).sum()),
+    )
+
+
+def mask_bipartite_graph(mask: np.ndarray) -> nx.Graph:
+    """Bipartite graph of one layer: inputs <-> outputs via active weights.
+
+    Output nodes are ``("out", i)``, input nodes ``("in", j)``.
+    """
+    matrix = _as_matrix(np.asarray(mask))
+    graph = nx.Graph()
+    graph.add_nodes_from([("out", i) for i in range(matrix.shape[0])], bipartite=0)
+    graph.add_nodes_from([("in", j) for j in range(matrix.shape[1])], bipartite=1)
+    rows, cols = np.nonzero(matrix)
+    graph.add_edges_from((("out", int(r)), ("in", int(c))) for r, c in zip(rows, cols))
+    return graph
+
+
+def layer_chain_graph(masks: Sequence[np.ndarray]) -> nx.DiGraph:
+    """Directed unit graph of a chain of layers.
+
+    Node ``(k, i)`` is unit ``i`` at interface ``k`` (interface 0 is the
+    network input).  For conv masks, "units" are channels: an edge
+    exists if any kernel element connecting the channels is active.
+    """
+    graph = nx.DiGraph()
+    for k, mask in enumerate(masks):
+        mask = np.asarray(mask)
+        if mask.ndim == 4:
+            channel_mask = mask.reshape(mask.shape[0], mask.shape[1], -1).max(axis=2)
+        else:
+            channel_mask = mask
+        rows, cols = np.nonzero(channel_mask)
+        graph.add_edges_from(((k, int(c)), (k + 1, int(r))) for r, c in zip(rows, cols))
+    return graph
+
+
+def input_output_connectivity(masks: Sequence[np.ndarray]) -> float:
+    """Fraction of output units reachable from at least one input unit.
+
+    A unit with no active path back to the input can never be driven;
+    drop-and-grow should keep this near 1.0.
+    """
+    if not masks:
+        raise ValueError("need at least one mask")
+    graph = layer_chain_graph(masks)
+    depth = len(masks)
+    first = np.asarray(masks[0])
+    last = np.asarray(masks[-1])
+    num_inputs = first.shape[1] if first.ndim == 2 else first.shape[1]
+    num_outputs = last.shape[0]
+    reachable = set()
+    for j in range(num_inputs):
+        source = (0, j)
+        if source in graph:
+            reachable |= nx.descendants(graph, source)
+    connected = sum(1 for i in range(num_outputs) if (depth, i) in reachable)
+    return connected / num_outputs if num_outputs else 0.0
+
+
+def analyze_masks(masks: Dict[str, np.ndarray]) -> Dict[str, DegreeStats]:
+    """Per-layer degree statistics for a whole mask dict."""
+    return {name: degree_statistics(mask) for name, mask in masks.items()}
+
+
+def topology_change(before: Dict[str, np.ndarray], after: Dict[str, np.ndarray]) -> Dict[str, float]:
+    """Jaccard-style churn per layer: fraction of active positions changed.
+
+    0.0 means identical topology; 1.0 means completely disjoint.
+    """
+    out: Dict[str, float] = {}
+    for name in before:
+        a = np.asarray(before[name]).reshape(-1) > 0
+        b = np.asarray(after[name]).reshape(-1) > 0
+        union = np.logical_or(a, b).sum()
+        if union == 0:
+            out[name] = 0.0
+            continue
+        intersection = np.logical_and(a, b).sum()
+        out[name] = 1.0 - intersection / union
+    return out

@@ -1,0 +1,125 @@
+"""Sparsity distributions across layers: ERK and uniform.
+
+The paper allocates per-layer sparsity with the Erdős–Rényi-Kernel
+(ERK) rule of Evci et al. (RigL, ICML 2020): the *density* of a
+convolutional layer with weight shape ``(F, C, kh, kw)`` is scaled
+proportionally to
+
+    (C + F + kh + kw) / (C * F * kh * kw)
+
+and a fully-connected layer ``(out, in)`` to ``(in + out) / (in*out)``,
+so small/thin layers stay denser than wide ones.  A global scale factor
+``epsilon`` is solved so that the network-wide density matches the
+requested value, capping any layer whose raw density would exceed 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Tuple
+
+import numpy as np
+
+Shape = Tuple[int, ...]
+
+
+def _raw_erk_probability(shape: Shape, power_scale: float = 1.0) -> float:
+    """Unnormalized ERK density for one layer."""
+    numerator = float(sum(shape))
+    denominator = float(np.prod(shape))
+    return (numerator / denominator) ** power_scale
+
+
+def erk_densities(
+    shapes: Mapping[str, Shape],
+    density: float,
+    power_scale: float = 1.0,
+) -> Dict[str, float]:
+    """Per-layer densities under ERK at a given global ``density``.
+
+    Parameters
+    ----------
+    shapes:
+        Mapping of layer name to weight shape (2-D or 4-D).
+    density:
+        Target global density (``1 - sparsity``) in ``(0, 1]``.
+    power_scale:
+        Exponent on the raw ERK probability (1.0 = standard ERK,
+        0.0 = uniform).
+
+    Returns
+    -------
+    Mapping of layer name to density in ``(0, 1]``; the weighted mean
+    density equals ``density`` up to the capping of dense layers.
+    """
+    if not 0.0 < density <= 1.0:
+        raise ValueError(f"density must be in (0, 1], got {density}")
+    if not shapes:
+        raise ValueError("no layers given")
+    if density == 1.0:
+        return {name: 1.0 for name in shapes}
+
+    total_params = sum(int(np.prod(s)) for s in shapes.values())
+    target_nonzero = density * total_params
+
+    dense_layers: set = set()
+    while True:
+        # Solve for epsilon over the still-sparse layers.
+        divisor = 0.0
+        rhs = target_nonzero
+        raw: Dict[str, float] = {}
+        for name, shape in shapes.items():
+            n_param = int(np.prod(shape))
+            if name in dense_layers:
+                rhs -= n_param
+            else:
+                raw[name] = _raw_erk_probability(shape, power_scale)
+                divisor += raw[name] * n_param
+        if divisor <= 0:
+            raise ValueError("cannot satisfy the requested density")
+        epsilon = rhs / divisor
+        # Cap any layer that would exceed density 1.
+        overflow = [name for name, prob in raw.items() if prob * epsilon > 1.0]
+        if not overflow:
+            break
+        dense_layers.update(overflow)
+
+    densities: Dict[str, float] = {}
+    for name, shape in shapes.items():
+        if name in dense_layers:
+            densities[name] = 1.0
+        else:
+            densities[name] = float(np.clip(raw[name] * epsilon, 0.0, 1.0))
+    return densities
+
+
+def uniform_densities(shapes: Mapping[str, Shape], density: float) -> Dict[str, float]:
+    """Every layer at the same density (the trivial distribution)."""
+    if not 0.0 < density <= 1.0:
+        raise ValueError(f"density must be in (0, 1], got {density}")
+    return {name: density for name in shapes}
+
+
+def erk_sparsities(
+    shapes: Mapping[str, Shape], sparsity: float, power_scale: float = 1.0
+) -> Dict[str, float]:
+    """Convenience wrapper returning *sparsities* instead of densities."""
+    densities = erk_densities(shapes, 1.0 - sparsity, power_scale=power_scale)
+    return {name: 1.0 - d for name, d in densities.items()}
+
+
+def global_density(shapes: Mapping[str, Shape], densities: Mapping[str, float]) -> float:
+    """Parameter-weighted mean density of a distribution."""
+    total = sum(int(np.prod(s)) for s in shapes.values())
+    nonzero = sum(densities[name] * int(np.prod(shape)) for name, shape in shapes.items())
+    return nonzero / total
+
+
+def build_distribution(
+    kind: str, shapes: Mapping[str, Shape], density: float, **kwargs
+) -> Dict[str, float]:
+    """Factory over distribution kinds: ``erk`` or ``uniform``."""
+    if kind == "erk":
+        return erk_densities(shapes, density, **kwargs)
+    if kind == "uniform":
+        return uniform_densities(shapes, density)
+    raise ValueError(f"unknown sparsity distribution {kind!r}")

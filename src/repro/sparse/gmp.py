@@ -1,0 +1,117 @@
+"""Gradual Magnitude Pruning (GMP) — extension baseline.
+
+Zhu & Gupta (2017): sparsity rises from 0 to the target along the same
+cubic ramp as Eq. 4 but with *no regrowth* — weights are pruned by
+magnitude at each update step and never return.  Including it isolates
+the value of NDSNN's grow step: GMP shares the ramp, NDSNN adds
+gradient-guided regrowth.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .base import SparseTrainingMethod
+from .erk import build_distribution
+from .mask import MaskManager
+from .schedule import LayerwiseSparsityRamp
+
+
+class GMPSNN(SparseTrainingMethod):
+    """Cubic-ramp magnitude pruning without regrowth.
+
+    Parameters mirror :class:`~repro.sparse.ndsnn.NDSNN` minus the
+    death/growth knobs.
+    """
+
+    name = "gmp"
+
+    def __init__(
+        self,
+        initial_sparsity: float = 0.0,
+        final_sparsity: float = 0.9,
+        total_iterations: int = 1000,
+        update_frequency: int = 100,
+        stop_fraction: float = 1.0,
+        distribution: str = "erk",
+        ramp_power: float = 3.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if not 0.0 <= initial_sparsity <= final_sparsity < 1.0:
+            raise ValueError(
+                f"need 0 <= theta_i <= theta_f < 1, got {initial_sparsity}, {final_sparsity}"
+            )
+        self.initial_sparsity = float(initial_sparsity)
+        self.final_sparsity = float(final_sparsity)
+        self.total_iterations = int(total_iterations)
+        self.update_frequency = int(update_frequency)
+        self.stop_fraction = float(stop_fraction)
+        self.distribution = distribution
+        self.ramp_power = float(ramp_power)
+        self._rng = rng
+        self.ramp: Optional[LayerwiseSparsityRamp] = None
+        self.prune_trace: List[float] = []
+
+    @property
+    def num_rounds(self) -> int:
+        horizon = int(self.total_iterations * self.stop_fraction)
+        return max(1, horizon // self.update_frequency)
+
+    def setup(self) -> None:
+        # Guarantee at least one pruning round on very short runs.
+        if self.update_frequency >= self.total_iterations:
+            self.update_frequency = max(1, self.total_iterations - 1)
+        self.masks = MaskManager(self.model, rng=self._rng)
+        shapes = self.masks.shapes
+        initial = {
+            name: 1.0 - d
+            for name, d in build_distribution(
+                self.distribution, shapes, 1.0 - self.initial_sparsity
+            ).items()
+        } if self.initial_sparsity > 0 else {name: 0.0 for name in shapes}
+        final = {
+            name: 1.0 - d
+            for name, d in build_distribution(
+                self.distribution, shapes, 1.0 - self.final_sparsity
+            ).items()
+        }
+        self.ramp = LayerwiseSparsityRamp(
+            initial, final,
+            t_start=0, num_rounds=self.num_rounds,
+            update_frequency=self.update_frequency, power=self.ramp_power,
+        )
+        if self.initial_sparsity > 0:
+            self.masks.init_random({name: 1.0 - s for name, s in initial.items()})
+        self.prune_trace = []
+
+    def _is_update_step(self, iteration: int) -> bool:
+        horizon = self.num_rounds * self.update_frequency
+        return (
+            iteration > 0
+            and iteration % self.update_frequency == 0
+            and iteration <= horizon
+            and iteration < self.total_iterations
+        )
+
+    def after_backward(self, iteration: int) -> None:
+        if self._is_update_step(iteration):
+            self._prune_to_schedule(iteration)
+        self.masks.apply_to_gradients()
+
+    def _prune_to_schedule(self, iteration: int) -> None:
+        targets = self.ramp.sparsity_at(iteration)
+        for name in self.masks.masks:
+            layer_size = self.masks.layer_size(name)
+            target_active = max(1, int(round((1.0 - targets[name]) * layer_size)))
+            current = self.masks.nonzero_count(name)
+            excess = current - target_active
+            if excess > 0:
+                self.masks.drop_by_magnitude(name, excess)
+        self.masks.apply_masks()
+        self.prune_trace.append(self.masks.sparsity())
+
+    def __repr__(self) -> str:
+        return f"GMPSNN(theta_f={self.final_sparsity}, dT={self.update_frequency})"

@@ -1,0 +1,240 @@
+"""NDSNN: Neurogenesis Dynamics-inspired sparse training (the paper's
+primary contribution, Algorithm 1).
+
+The method trains from scratch at high sparsity and *increases*
+sparsity over time through an asymmetric drop-and-grow schedule:
+
+* every ``update_frequency`` (``dT``) iterations, layer ``l`` drops the
+  ``D_q^l = d_t * N_pre`` active weights of least magnitude — *neuron
+  death* — where ``d_t`` follows the cosine schedule of Eq. 5;
+* it then grows ``G_q^l = N^l - N_post^l - theta_t^l * N^l`` connections
+  at the inactive positions with the largest gradient magnitude —
+  *neuron birth* (Eq. 9) — where ``theta_t^l`` is the cubic sparsity
+  ramp of Eq. 4.
+
+Because ``G < D`` while the ramp is rising, the live-connection count
+decays from the ERK distribution at ``theta_i`` to the ERK distribution
+at ``theta_f``, mirroring the declining neuron population of adult
+hippocampal neurogenesis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .base import SparseTrainingMethod
+from .erk import build_distribution
+from .mask import MaskManager
+from .schedule import CosineDeathSchedule, LayerwiseSparsityRamp
+
+
+@dataclass
+class UpdateRecord:
+    """Audit record of one drop-and-grow round (used by tests/benches)."""
+
+    iteration: int
+    death_rate: float
+    dropped: Dict[str, int] = field(default_factory=dict)
+    grown: Dict[str, int] = field(default_factory=dict)
+    sparsity_after: float = 0.0
+
+    @property
+    def total_dropped(self) -> int:
+        return sum(self.dropped.values())
+
+    @property
+    def total_grown(self) -> int:
+        return sum(self.grown.values())
+
+
+class NDSNN(SparseTrainingMethod):
+    """Drop-and-grow sparse training with decreasing connection count.
+
+    Parameters
+    ----------
+    initial_sparsity:
+        Global sparsity ``theta_i`` at the start of training (paper uses
+        0.5–0.9; §IV-D picks from {0.6, 0.7, 0.8}).
+    final_sparsity:
+        Target global sparsity ``theta_f`` (0.9–0.99 in Table I).
+    total_iterations:
+        Length of the training run ``T_end`` in iterations.
+    update_frequency:
+        ``dT``; a drop-and-grow round runs every this many iterations.
+    initial_death_rate / minimum_death_rate:
+        Endpoints ``d0`` and ``d_min`` of the Eq. 5 cosine schedule.
+    stop_fraction:
+        Fraction of ``total_iterations`` after which topology freezes
+        (the ramp horizon ``n*dT``); 1.0 reproduces the paper.
+    distribution:
+        Per-layer sparsity allocation (``erk`` as in the paper, or
+        ``uniform``).
+    growth_mode:
+        ``gradient`` (paper / RigL-style), ``random`` or ``momentum``
+        — exposed for the ablation bench.
+    ramp_power:
+        Exponent of Eq. 4 (3.0 in the paper; ablation knob).
+    """
+
+    name = "ndsnn"
+
+    def __init__(
+        self,
+        initial_sparsity: float = 0.8,
+        final_sparsity: float = 0.95,
+        total_iterations: int = 1000,
+        update_frequency: int = 100,
+        initial_death_rate: float = 0.5,
+        minimum_death_rate: float = 0.05,
+        stop_fraction: float = 1.0,
+        distribution: str = "erk",
+        growth_mode: str = "gradient",
+        ramp_power: float = 3.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if not 0.0 <= initial_sparsity <= final_sparsity < 1.0:
+            raise ValueError(
+                f"need 0 <= theta_i <= theta_f < 1, got {initial_sparsity}, {final_sparsity}"
+            )
+        if update_frequency < 1:
+            raise ValueError("update_frequency must be >= 1")
+        if not 0.0 < stop_fraction <= 1.0:
+            raise ValueError("stop_fraction must be in (0, 1]")
+        if growth_mode not in ("gradient", "random", "momentum"):
+            raise ValueError(f"unknown growth mode {growth_mode!r}")
+        self.initial_sparsity = float(initial_sparsity)
+        self.final_sparsity = float(final_sparsity)
+        self.total_iterations = int(total_iterations)
+        self.update_frequency = int(update_frequency)
+        self.initial_death_rate = float(initial_death_rate)
+        self.minimum_death_rate = float(minimum_death_rate)
+        self.stop_fraction = float(stop_fraction)
+        self.distribution = distribution
+        self.growth_mode = growth_mode
+        self.ramp_power = float(ramp_power)
+        self._rng = rng
+        self.ramp: Optional[LayerwiseSparsityRamp] = None
+        self.death_schedule: Optional[CosineDeathSchedule] = None
+        self.history: List[UpdateRecord] = []
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    @property
+    def num_rounds(self) -> int:
+        """Number of drop-and-grow rounds ``n`` in the ramp horizon."""
+        horizon = int(self.total_iterations * self.stop_fraction)
+        return max(1, horizon // self.update_frequency)
+
+    def setup(self) -> None:
+        # Guarantee at least one drop-and-grow round on very short runs.
+        if self.update_frequency >= self.total_iterations:
+            self.update_frequency = max(1, self.total_iterations - 1)
+        self.masks = MaskManager(self.model, rng=self._rng)
+        shapes = self.masks.shapes
+        initial = {
+            name: 1.0 - d
+            for name, d in build_distribution(
+                self.distribution, shapes, 1.0 - self.initial_sparsity
+            ).items()
+        }
+        final = {
+            name: 1.0 - d
+            for name, d in build_distribution(
+                self.distribution, shapes, 1.0 - self.final_sparsity
+            ).items()
+        }
+        self.ramp = LayerwiseSparsityRamp(
+            initial,
+            final,
+            t_start=0,
+            num_rounds=self.num_rounds,
+            update_frequency=self.update_frequency,
+            power=self.ramp_power,
+        )
+        self.death_schedule = CosineDeathSchedule(
+            self.initial_death_rate,
+            self.minimum_death_rate,
+            num_rounds=self.num_rounds,
+            update_frequency=self.update_frequency,
+        )
+        self.masks.init_random({name: 1.0 - s for name, s in initial.items()})
+        self.history = []
+
+    # ------------------------------------------------------------------
+    # Per-iteration behaviour
+    # ------------------------------------------------------------------
+    def _is_update_step(self, iteration: int) -> bool:
+        horizon = self.num_rounds * self.update_frequency
+        return (
+            iteration > 0
+            and iteration % self.update_frequency == 0
+            and iteration <= horizon
+            and iteration < self.total_iterations
+        )
+
+    def after_backward(self, iteration: int) -> None:
+        if self._is_update_step(iteration):
+            self._drop_and_grow(iteration)
+        self.masks.apply_to_gradients()
+
+    def _growth_scores(self, name: str) -> np.ndarray:
+        parameter = self.masks.parameters[name]
+        if self.growth_mode == "gradient":
+            if parameter.grad is None:
+                raise RuntimeError(
+                    "gradient growth requires gradients; call backward() first"
+                )
+            return np.abs(parameter.grad)
+        if self.growth_mode == "momentum":
+            buffer = None
+            get_state = getattr(self.optimizer, "state_for", None)
+            if get_state is not None:
+                buffer = get_state(parameter)
+            if buffer is None:
+                buffer = parameter.grad if parameter.grad is not None else np.zeros(parameter.shape)
+            return np.abs(buffer)
+        # random growth: a random permutation as scores
+        return self.masks.rng.random(parameter.shape)
+
+    def _drop_and_grow(self, iteration: int) -> None:
+        """One round of Eqs. 5–9 across all layers."""
+        death_rate = self.death_schedule.rate_at(iteration)
+        targets = self.ramp.sparsity_at(iteration)
+        record = UpdateRecord(iteration=iteration, death_rate=death_rate)
+        for name in self.masks.masks:
+            layer_size = self.masks.layer_size(name)
+            n_pre = self.masks.nonzero_count(name)  # Eq. 6
+            target_active = max(1, int(round((1.0 - targets[name]) * layer_size)))
+            drop = int(death_rate * n_pre)  # Eq. 7
+            # Never drop below the target active count: the sparsity ramp
+            # dominates when the cosine death rate gets small (Eq. 9 must
+            # yield G >= 0).
+            drop = max(drop, n_pre - target_active)
+            drop = min(drop, n_pre - 1) if n_pre > 1 else 0
+            dropped = self.masks.drop_by_magnitude(name, drop)
+            n_post = n_pre - dropped.size  # Eq. 8
+            grow = target_active - n_post  # Eq. 9
+            grown = np.empty(0, dtype=np.int64)
+            if grow > 0:
+                if self.growth_mode == "random":
+                    grown = self.masks.grow_random(name, grow)
+                else:
+                    grown = self.masks.grow_by_score(name, grow, self._growth_scores(name))
+                self._reset_momentum(name, grown)
+            record.dropped[name] = int(dropped.size)
+            record.grown[name] = int(grown.size)
+        self.masks.apply_masks()
+        record.sparsity_after = self.masks.sparsity()
+        self.history.append(record)
+
+    def __repr__(self) -> str:
+        return (
+            f"NDSNN(theta_i={self.initial_sparsity}, theta_f={self.final_sparsity}, "
+            f"dT={self.update_frequency}, d0={self.initial_death_rate}, "
+            f"growth={self.growth_mode!r})"
+        )

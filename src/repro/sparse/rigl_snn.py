@@ -1,0 +1,114 @@
+"""RigL-SNN baseline: gradient-guided constant-sparsity training.
+
+RigL (Evci et al., ICML 2020) drops the smallest-magnitude active
+weights and regrows the same count at inactive positions with the
+largest gradient magnitude, with the update fraction cosine-annealed to
+zero over the schedule horizon:
+
+    f(t) = (alpha / 2) * (1 + cos(pi * t / T_horizon))
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+import numpy as np
+
+from .base import SparseTrainingMethod
+from .erk import build_distribution
+from .mask import MaskManager
+from .ndsnn import UpdateRecord
+
+
+class RigLSNN(SparseTrainingMethod):
+    """Constant-sparsity drop-and-grow with gradient-based regrowth.
+
+    Parameters
+    ----------
+    sparsity:
+        Constant global sparsity maintained throughout training.
+    alpha:
+        Initial update fraction of the cosine decay (RigL default 0.3).
+    stop_fraction:
+        Fraction of training after which topology freezes (RigL's
+        ``T_end``; the original uses 0.75).
+    """
+
+    name = "rigl"
+
+    def __init__(
+        self,
+        sparsity: float = 0.9,
+        total_iterations: int = 1000,
+        update_frequency: int = 100,
+        alpha: float = 0.3,
+        stop_fraction: float = 0.75,
+        distribution: str = "erk",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if not 0.0 <= sparsity < 1.0:
+            raise ValueError(f"sparsity must be in [0, 1), got {sparsity}")
+        if not 0.0 < alpha < 1.0:
+            raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+        self.target_sparsity = float(sparsity)
+        self.total_iterations = int(total_iterations)
+        self.update_frequency = int(update_frequency)
+        self.alpha = float(alpha)
+        self.stop_fraction = float(stop_fraction)
+        self.distribution = distribution
+        self._rng = rng
+        self.history: List[UpdateRecord] = []
+
+    def setup(self) -> None:
+        self.masks = MaskManager(self.model, rng=self._rng)
+        densities = build_distribution(
+            self.distribution, self.masks.shapes, 1.0 - self.target_sparsity
+        )
+        self.masks.init_random(densities)
+        self.history = []
+
+    @property
+    def horizon(self) -> int:
+        return max(1, int(self.total_iterations * self.stop_fraction))
+
+    def update_fraction(self, iteration: int) -> float:
+        """Cosine-annealed fraction of connections replaced per round."""
+        if iteration >= self.horizon:
+            return 0.0
+        return (self.alpha / 2.0) * (1.0 + math.cos(math.pi * iteration / self.horizon))
+
+    def _is_update_step(self, iteration: int) -> bool:
+        return (
+            iteration > 0
+            and iteration % self.update_frequency == 0
+            and iteration < self.horizon
+        )
+
+    def after_backward(self, iteration: int) -> None:
+        if self._is_update_step(iteration):
+            self._replace_connections(iteration)
+        self.masks.apply_to_gradients()
+
+    def _replace_connections(self, iteration: int) -> None:
+        fraction = self.update_fraction(iteration)
+        record = UpdateRecord(iteration=iteration, death_rate=fraction)
+        for name in self.masks.masks:
+            parameter = self.masks.parameters[name]
+            n_active = self.masks.nonzero_count(name)
+            count = int(fraction * n_active)
+            count = min(count, max(0, n_active - 1))
+            dropped = self.masks.drop_by_magnitude(name, count)
+            if parameter.grad is None:
+                raise RuntimeError("RigL growth requires gradients")
+            grown = self.masks.grow_by_score(name, dropped.size, np.abs(parameter.grad))
+            self._reset_momentum(name, grown)
+            record.dropped[name] = int(dropped.size)
+            record.grown[name] = int(grown.size)
+        self.masks.apply_masks()
+        record.sparsity_after = self.masks.sparsity()
+        self.history.append(record)
+
+    def __repr__(self) -> str:
+        return f"RigLSNN(sparsity={self.target_sparsity}, alpha={self.alpha})"

@@ -1,0 +1,97 @@
+"""SET-SNN baseline: Sparse Evolutionary Training on spiking networks.
+
+SET (Mocanu et al., Nature Communications 2018) keeps sparsity constant:
+every update round it drops a fixed fraction ``zeta`` of the smallest-
+magnitude active weights per layer and regrows the *same number* of
+connections at random inactive positions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .base import SparseTrainingMethod
+from .erk import build_distribution
+from .mask import MaskManager
+from .ndsnn import UpdateRecord
+
+
+class SETSNN(SparseTrainingMethod):
+    """Constant-sparsity drop-and-grow with random regrowth.
+
+    Parameters
+    ----------
+    sparsity:
+        Constant global sparsity maintained throughout training.
+    prune_rate:
+        Fraction ``zeta`` of active weights replaced per round (SET
+        uses a constant rate; 0.3 is the conventional default).
+    """
+
+    name = "set"
+
+    def __init__(
+        self,
+        sparsity: float = 0.9,
+        total_iterations: int = 1000,
+        update_frequency: int = 100,
+        prune_rate: float = 0.3,
+        stop_fraction: float = 1.0,
+        distribution: str = "erk",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if not 0.0 <= sparsity < 1.0:
+            raise ValueError(f"sparsity must be in [0, 1), got {sparsity}")
+        if not 0.0 < prune_rate < 1.0:
+            raise ValueError(f"prune_rate must be in (0, 1), got {prune_rate}")
+        self.target_sparsity = float(sparsity)
+        self.total_iterations = int(total_iterations)
+        self.update_frequency = int(update_frequency)
+        self.prune_rate = float(prune_rate)
+        self.stop_fraction = float(stop_fraction)
+        self.distribution = distribution
+        self._rng = rng
+        self.history: List[UpdateRecord] = []
+
+    def setup(self) -> None:
+        self.masks = MaskManager(self.model, rng=self._rng)
+        densities = build_distribution(
+            self.distribution, self.masks.shapes, 1.0 - self.target_sparsity
+        )
+        self.masks.init_random(densities)
+        self.history = []
+
+    def _is_update_step(self, iteration: int) -> bool:
+        horizon = int(self.total_iterations * self.stop_fraction)
+        return (
+            iteration > 0
+            and iteration % self.update_frequency == 0
+            and iteration <= horizon
+            and iteration < self.total_iterations
+        )
+
+    def after_backward(self, iteration: int) -> None:
+        if self._is_update_step(iteration):
+            self._replace_connections(iteration)
+        self.masks.apply_to_gradients()
+
+    def _replace_connections(self, iteration: int) -> None:
+        record = UpdateRecord(iteration=iteration, death_rate=self.prune_rate)
+        for name in self.masks.masks:
+            n_active = self.masks.nonzero_count(name)
+            count = int(self.prune_rate * n_active)
+            count = min(count, max(0, n_active - 1))
+            dropped = self.masks.drop_by_magnitude(name, count)
+            grown = self.masks.grow_random(name, dropped.size)
+            self._reset_momentum(name, grown)
+            record.dropped[name] = int(dropped.size)
+            record.grown[name] = int(grown.size)
+        self.masks.apply_masks()
+        record.sparsity_after = self.masks.sparsity()
+        self.history.append(record)
+
+    def __repr__(self) -> str:
+        return f"SETSNN(sparsity={self.target_sparsity}, zeta={self.prune_rate})"

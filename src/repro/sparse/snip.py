@@ -1,0 +1,89 @@
+"""SNIP — single-shot pruning at initialization (extension baseline).
+
+Lee et al. (ICLR 2019): score each weight by the connection
+sensitivity ``|g * w|`` computed on one (or a few) mini-batches at
+initialization, keep the global top-k, and train under that fixed mask.
+A from-scratch static-sparsity point of comparison for NDSNN's dynamic
+topology: same train-time sparsity, no topology adaptation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .base import SparseTrainingMethod
+from .mask import MaskManager
+
+
+class SNIPSNN(SparseTrainingMethod):
+    """Sensitivity-based one-shot pruning at init, then static training.
+
+    The trainer's first ``calibration_batches`` backward passes are used
+    to accumulate sensitivity scores; the mask freezes afterwards.
+    """
+
+    name = "snip"
+
+    def __init__(
+        self,
+        sparsity: float = 0.9,
+        calibration_batches: int = 1,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if not 0.0 < sparsity < 1.0:
+            raise ValueError(f"sparsity must be in (0, 1), got {sparsity}")
+        if calibration_batches < 1:
+            raise ValueError("calibration_batches must be >= 1")
+        self.target_sparsity = float(sparsity)
+        self.calibration_batches = int(calibration_batches)
+        self._rng = rng
+        self._scores = None
+        self._calibrated = False
+        self._seen = 0
+
+    def setup(self) -> None:
+        self.masks = MaskManager(self.model, rng=self._rng)
+        self._scores = {
+            name: np.zeros(parameter.shape, dtype=np.float64)
+            for name, parameter in self.masks.parameters.items()
+        }
+        self._calibrated = False
+        self._seen = 0
+
+    def after_backward(self, iteration: int) -> None:
+        if not self._calibrated:
+            for name, parameter in self.masks.parameters.items():
+                if parameter.grad is None:
+                    continue
+                self._scores[name] += np.abs(parameter.grad * parameter.data)
+            self._seen += 1
+            if self._seen >= self.calibration_batches:
+                self._prune_by_sensitivity()
+                self._calibrated = True
+        self.masks.apply_to_gradients()
+
+    def _prune_by_sensitivity(self) -> None:
+        """Keep the global top-(1 - sparsity) fraction by |g*w|."""
+        all_scores = np.concatenate([s.reshape(-1) for s in self._scores.values()])
+        total = all_scores.size
+        keep = max(1, int(round((1.0 - self.target_sparsity) * total)))
+        threshold = np.partition(all_scores, total - keep)[total - keep]
+        for name, parameter in self.masks.parameters.items():
+            mask = (self._scores[name] >= threshold).astype(np.float32)
+            if mask.sum() == 0:
+                # Guarantee at least one connection per layer.
+                best = np.unravel_index(self._scores[name].argmax(), mask.shape)
+                mask[best] = 1.0
+            self.masks.set_mask(name, mask)
+        self.masks.apply_masks()
+
+    def sparsity(self) -> float:
+        if not self._calibrated:
+            return 0.0
+        return self.masks.sparsity()
+
+    def __repr__(self) -> str:
+        return f"SNIPSNN(sparsity={self.target_sparsity})"

@@ -1,0 +1,144 @@
+"""Compressed sparse row (CSR) storage for weight tensors.
+
+Section III-D of the paper counts training memory assuming CSR storage
+of the sparse weight matrices (one column index per non-zero plus one
+row pointer per filter row).  This module provides an actual CSR
+implementation so the footprint model is backed by working code: 4-D
+convolution filters are stored as ``(F, C*kh*kw)`` matrices, matching
+the paper's reshaping convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass
+class CSRMatrix:
+    """A 2-D sparse matrix in CSR form.
+
+    Attributes
+    ----------
+    data:
+        Non-zero values, row-major.
+    indices:
+        Column index of each non-zero.
+    indptr:
+        Row pointers: row ``i`` occupies ``data[indptr[i]:indptr[i+1]]``.
+    shape:
+        Dense ``(rows, cols)`` shape.
+    orig_shape:
+        Original tensor shape (e.g. 4-D conv filters) for round-trips.
+    """
+
+    data: np.ndarray
+    indices: np.ndarray
+    indptr: np.ndarray
+    shape: Tuple[int, int]
+    orig_shape: Tuple[int, ...]
+
+    @property
+    def nnz(self) -> int:
+        return int(self.data.size)
+
+    @property
+    def density(self) -> float:
+        rows, cols = self.shape
+        total = rows * cols
+        return self.nnz / total if total else 0.0
+
+    @property
+    def sparsity(self) -> float:
+        return 1.0 - self.density
+
+    def storage_bits(self, value_bits: int = 32, index_bits: int = 32) -> int:
+        """Exact storage cost in bits (paper §III-D accounting).
+
+        ``nnz`` values + ``nnz`` column indices + ``rows + 1`` pointers.
+        """
+        return self.nnz * value_bits + self.nnz * index_bits + (self.shape[0] + 1) * index_bits
+
+    def to_dense(self) -> np.ndarray:
+        """Reconstruct the dense tensor in its original shape."""
+        rows, cols = self.shape
+        dense = np.zeros((rows, cols), dtype=self.data.dtype)
+        for row in range(rows):
+            start, stop = self.indptr[row], self.indptr[row + 1]
+            dense[row, self.indices[start:stop]] = self.data[start:stop]
+        return dense.reshape(self.orig_shape)
+
+    def row(self, index: int) -> np.ndarray:
+        """One dense row (a filter's flattened weights)."""
+        dense_row = np.zeros(self.shape[1], dtype=self.data.dtype)
+        start, stop = self.indptr[index], self.indptr[index + 1]
+        dense_row[self.indices[start:stop]] = self.data[start:stop]
+        return dense_row
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Sparse matrix-vector product (inference-style usage)."""
+        if x.shape[0] != self.shape[1]:
+            raise ValueError(f"vector length {x.shape[0]} != cols {self.shape[1]}")
+        out = np.zeros(self.shape[0], dtype=np.result_type(self.data, x))
+        for row in range(self.shape[0]):
+            start, stop = self.indptr[row], self.indptr[row + 1]
+            out[row] = self.data[start:stop] @ x[self.indices[start:stop]]
+        return out
+
+
+def _as_matrix(tensor: np.ndarray) -> Tuple[np.ndarray, Tuple[int, int]]:
+    """Reshape a weight tensor to the paper's 2-D convention."""
+    if tensor.ndim == 2:
+        return tensor, tensor.shape
+    if tensor.ndim == 4:
+        f = tensor.shape[0]
+        matrix = tensor.reshape(f, -1)
+        return matrix, matrix.shape
+    raise ValueError(f"unsupported tensor rank {tensor.ndim} (need 2-D or 4-D)")
+
+
+def csr_encode(tensor: np.ndarray) -> CSRMatrix:
+    """Encode a (possibly 4-D) weight tensor as CSR."""
+    matrix, shape = _as_matrix(np.asarray(tensor))
+    rows, _ = shape
+    data_chunks = []
+    index_chunks = []
+    indptr = np.zeros(rows + 1, dtype=np.int64)
+    for row in range(rows):
+        nonzero = np.flatnonzero(matrix[row])
+        data_chunks.append(matrix[row, nonzero])
+        index_chunks.append(nonzero)
+        indptr[row + 1] = indptr[row] + nonzero.size
+    data = np.concatenate(data_chunks) if data_chunks else np.empty(0, dtype=matrix.dtype)
+    indices = np.concatenate(index_chunks) if index_chunks else np.empty(0, dtype=np.int64)
+    return CSRMatrix(
+        data=data.astype(matrix.dtype),
+        indices=indices.astype(np.int64),
+        indptr=indptr,
+        shape=shape,
+        orig_shape=tuple(np.asarray(tensor).shape),
+    )
+
+
+def csr_decode(matrix: CSRMatrix) -> np.ndarray:
+    """Inverse of :func:`csr_encode`."""
+    return matrix.to_dense()
+
+
+def model_csr_storage_bits(
+    model, value_bits: int = 32, index_bits: int = 32
+) -> int:
+    """Exact CSR storage of every sparsifiable weight in a model.
+
+    This is the measured counterpart of the §III-D analytic formula;
+    tests verify the two agree.
+    """
+    from .mask import sparsifiable_parameters
+
+    total = 0
+    for _, parameter in sparsifiable_parameters(model):
+        encoded = csr_encode(parameter.data)
+        total += encoded.storage_bits(value_bits=value_bits, index_bits=index_bits)
+    return total

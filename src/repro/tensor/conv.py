@@ -1,0 +1,185 @@
+"""Convolution and pooling primitives built on im2col.
+
+These are the compute kernels of the spiking model zoo.  The forward
+pass lowers the convolution to a single matrix multiply (im2col); the
+backward pass uses the transposed lowering (col2im).  Both directions
+are exact, which the test suite verifies against finite differences.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .tensor import Tensor, is_grad_enabled
+
+
+def _pair(value) -> Tuple[int, int]:
+    if isinstance(value, (tuple, list)):
+        return int(value[0]), int(value[1])
+    return int(value), int(value)
+
+
+def conv_output_shape(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution along one dimension."""
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+def im2col(x: np.ndarray, kernel: Tuple[int, int], stride: Tuple[int, int], padding: Tuple[int, int]) -> np.ndarray:
+    """Lower image patches to columns.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(N, C, H, W)``.
+
+    Returns
+    -------
+    Array of shape ``(N, C * kh * kw, out_h * out_w)``.
+    """
+    n, c, h, w = x.shape
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    out_h = conv_output_shape(h, kh, sh, ph)
+    out_w = conv_output_shape(w, kw, sw, pw)
+    if ph or pw:
+        x = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+
+    # Strided view: (N, C, kh, kw, out_h, out_w)
+    s0, s1, s2, s3 = x.strides
+    view = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, kh, kw, out_h, out_w),
+        strides=(s0, s1, s2, s3, s2 * sh, s3 * sw),
+        writeable=False,
+    )
+    return view.reshape(n, c * kh * kw, out_h * out_w).copy()
+
+
+def col2im(
+    cols: np.ndarray,
+    input_shape: Tuple[int, int, int, int],
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+) -> np.ndarray:
+    """Inverse of :func:`im2col`: scatter-add columns back into an image."""
+    n, c, h, w = input_shape
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    out_h = conv_output_shape(h, kh, sh, ph)
+    out_w = conv_output_shape(w, kw, sw, pw)
+
+    padded = np.zeros((n, c, h + 2 * ph, w + 2 * pw), dtype=cols.dtype)
+    cols6 = cols.reshape(n, c, kh, kw, out_h, out_w)
+    for i in range(kh):
+        i_end = i + sh * out_h
+        for j in range(kw):
+            j_end = j + sw * out_w
+            padded[:, :, i:i_end:sh, j:j_end:sw] += cols6[:, :, i, j, :, :]
+    if ph or pw:
+        return padded[:, :, ph:h + ph, pw:w + pw]
+    return padded
+
+
+def conv2d(x: Tensor, weight: Tensor, bias: Tensor = None, stride=1, padding=0) -> Tensor:
+    """2-D convolution over an ``(N, C, H, W)`` input.
+
+    Parameters
+    ----------
+    weight:
+        Filter bank of shape ``(F, C, kh, kw)``.
+    bias:
+        Optional per-filter bias of shape ``(F,)``.
+    """
+    stride = _pair(stride)
+    padding = _pair(padding)
+    n, c, h, w = x.shape
+    f, c_w, kh, kw = weight.shape
+    if c != c_w:
+        raise ValueError(f"input channels {c} do not match weight channels {c_w}")
+    out_h = conv_output_shape(h, kh, stride[0], padding[0])
+    out_w = conv_output_shape(w, kw, stride[1], padding[1])
+
+    cols = im2col(x.data, (kh, kw), stride, padding)  # (N, C*kh*kw, L)
+    w_mat = weight.data.reshape(f, -1)  # (F, C*kh*kw)
+    out_data = np.einsum("fk,nkl->nfl", w_mat, cols, optimize=True)
+    out_data = out_data.reshape(n, f, out_h, out_w)
+    if bias is not None:
+        out_data = out_data + bias.data.reshape(1, f, 1, 1)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    requires = is_grad_enabled() and any(p.requires_grad for p in parents)
+    out = Tensor(out_data, requires_grad=requires, _prev=parents if requires else (), _op="conv2d")
+
+    def backward(grad: np.ndarray) -> None:
+        grad_mat = grad.reshape(n, f, out_h * out_w)  # (N, F, L)
+        if weight.requires_grad:
+            grad_w = np.einsum("nfl,nkl->fk", grad_mat, cols, optimize=True)
+            weight._accumulate(grad_w.reshape(weight.shape))
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad.sum(axis=(0, 2, 3)))
+        if x.requires_grad:
+            grad_cols = np.einsum("fk,nfl->nkl", w_mat, grad_mat, optimize=True)
+            x._accumulate(col2im(grad_cols, (n, c, h, w), (kh, kw), stride, padding))
+
+    out._backward = backward
+    return out
+
+
+def avg_pool2d(x: Tensor, kernel_size, stride=None) -> Tensor:
+    """Average pooling over the spatial dimensions."""
+    kernel = _pair(kernel_size)
+    stride_p = _pair(stride) if stride is not None else kernel
+    n, c, h, w = x.shape
+    kh, kw = kernel
+    sh, sw = stride_p
+    out_h = conv_output_shape(h, kh, sh, 0)
+    out_w = conv_output_shape(w, kw, sw, 0)
+
+    cols = im2col(x.data, kernel, stride_p, (0, 0)).reshape(n, c, kh * kw, out_h * out_w)
+    out_data = cols.mean(axis=2).reshape(n, c, out_h, out_w)
+    requires = is_grad_enabled() and x.requires_grad
+    out = Tensor(out_data, requires_grad=requires, _prev=(x,) if requires else (), _op="avg_pool2d")
+
+    def backward(grad: np.ndarray) -> None:
+        grad_cols = np.repeat(
+            grad.reshape(n, c, 1, out_h * out_w) / (kh * kw), kh * kw, axis=2
+        ).reshape(n, c * kh * kw, out_h * out_w)
+        x._accumulate(col2im(grad_cols, (n, c, h, w), kernel, stride_p, (0, 0)))
+
+    out._backward = backward
+    return out
+
+
+def max_pool2d(x: Tensor, kernel_size, stride=None) -> Tensor:
+    """Max pooling over the spatial dimensions."""
+    kernel = _pair(kernel_size)
+    stride_p = _pair(stride) if stride is not None else kernel
+    n, c, h, w = x.shape
+    kh, kw = kernel
+    sh, sw = stride_p
+    out_h = conv_output_shape(h, kh, sh, 0)
+    out_w = conv_output_shape(w, kw, sw, 0)
+
+    cols = im2col(x.data, kernel, stride_p, (0, 0)).reshape(n, c, kh * kw, out_h * out_w)
+    argmax = cols.argmax(axis=2)
+    out_data = np.take_along_axis(cols, argmax[:, :, None, :], axis=2).squeeze(2)
+    out_data = out_data.reshape(n, c, out_h, out_w)
+    requires = is_grad_enabled() and x.requires_grad
+    out = Tensor(out_data, requires_grad=requires, _prev=(x,) if requires else (), _op="max_pool2d")
+
+    def backward(grad: np.ndarray) -> None:
+        grad_cols = np.zeros((n, c, kh * kw, out_h * out_w), dtype=grad.dtype)
+        np.put_along_axis(
+            grad_cols, argmax[:, :, None, :], grad.reshape(n, c, 1, out_h * out_w), axis=2
+        )
+        x._accumulate(
+            col2im(grad_cols.reshape(n, c * kh * kw, out_h * out_w), (n, c, h, w), kernel, stride_p, (0, 0))
+        )
+
+    out._backward = backward
+    return out

@@ -1,0 +1,90 @@
+"""Loss functions and classification helpers on :class:`Tensor`."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor, is_grad_enabled
+
+
+def log_softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = logits - Tensor(logits.data.max(axis=axis, keepdims=True))
+    log_norm = shifted.exp().sum(axis=axis, keepdims=True).log()
+    return shifted - log_norm
+
+
+def softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    return log_softmax(logits, axis=axis).exp()
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray, label_smoothing: float = 0.0) -> Tensor:
+    """Mean cross-entropy between ``logits`` of shape ``(N, K)`` and
+    integer class labels ``targets`` of shape ``(N,)``.
+
+    A dedicated fused op: the backward is the classic
+    ``softmax(logits) - one_hot(targets)`` expression, which avoids
+    building the elementwise log-softmax graph for every BPTT timestep.
+    """
+    targets = np.asarray(targets)
+    if logits.ndim != 2:
+        raise ValueError("cross_entropy expects logits of shape (N, K)")
+    n, k = logits.shape
+    if targets.shape != (n,):
+        raise ValueError(f"targets shape {targets.shape} does not match batch {n}")
+
+    z = logits.data
+    z_max = z.max(axis=1, keepdims=True)
+    exp_z = np.exp(z - z_max)
+    probs = exp_z / exp_z.sum(axis=1, keepdims=True)
+    log_probs = (z - z_max) - np.log(exp_z.sum(axis=1, keepdims=True))
+
+    one_hot = np.zeros_like(z)
+    one_hot[np.arange(n), targets] = 1.0
+    if label_smoothing > 0.0:
+        one_hot = one_hot * (1.0 - label_smoothing) + label_smoothing / k
+
+    loss_value = -(one_hot * log_probs).sum(axis=1).mean()
+    requires = is_grad_enabled() and logits.requires_grad
+    out = Tensor(
+        np.float32(loss_value),
+        requires_grad=requires,
+        _prev=(logits,) if requires else (),
+        _op="cross_entropy",
+    )
+
+    def backward(grad: np.ndarray) -> None:
+        logits._accumulate(grad * (probs - one_hot) / n)
+
+    out._backward = backward
+    return out
+
+
+def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error loss."""
+    target_t = target if isinstance(target, Tensor) else Tensor(target)
+    diff = prediction - target_t
+    return (diff * diff).mean()
+
+
+def nll_loss(log_probs: Tensor, targets: np.ndarray) -> Tensor:
+    """Negative log-likelihood over precomputed log-probabilities."""
+    targets = np.asarray(targets)
+    n = log_probs.shape[0]
+    picked = log_probs[np.arange(n), targets]
+    return -picked.mean()
+
+
+def accuracy(logits: Tensor, targets: np.ndarray) -> float:
+    """Top-1 accuracy of ``logits`` of shape ``(N, K)``."""
+    predictions = logits.data.argmax(axis=1)
+    return float((predictions == np.asarray(targets)).mean())
+
+
+def one_hot(targets: np.ndarray, num_classes: int) -> np.ndarray:
+    """Integer labels to a float32 one-hot matrix."""
+    targets = np.asarray(targets)
+    out = np.zeros((targets.shape[0], num_classes), dtype=np.float32)
+    out[np.arange(targets.shape[0]), targets] = 1.0
+    return out

@@ -1,0 +1,60 @@
+"""Finite-difference gradient verification used across the test suite."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+def numeric_gradient(
+    fn: Callable[[], Tensor], tensor: Tensor, eps: float = 1e-3
+) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn()`` w.r.t. ``tensor``.
+
+    ``fn`` must re-evaluate the computation from ``tensor.data`` each
+    call (a closure over the tensor), and must return a scalar Tensor.
+    """
+    flat = tensor.data.reshape(-1)
+    grad = np.zeros_like(flat, dtype=np.float64)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = float(fn().data)
+        flat[i] = original - eps
+        minus = float(fn().data)
+        flat[i] = original
+        grad[i] = (plus - minus) / (2.0 * eps)
+    return grad.reshape(tensor.shape)
+
+
+def check_gradients(
+    fn: Callable[[], Tensor],
+    tensors: Sequence[Tensor],
+    eps: float = 1e-3,
+    atol: float = 1e-2,
+    rtol: float = 5e-2,
+) -> None:
+    """Assert analytic gradients of scalar ``fn()`` match finite differences.
+
+    Raises ``AssertionError`` with a readable report on mismatch.
+    """
+    for tensor in tensors:
+        tensor.zero_grad()
+    loss = fn()
+    loss.backward()
+    for index, tensor in enumerate(tensors):
+        analytic = tensor.grad if tensor.grad is not None else np.zeros(tensor.shape)
+        numeric = numeric_gradient(fn, tensor, eps=eps)
+        # Absolute tolerance scales with the gradient magnitude: central
+        # differences on float32 forward passes carry noise proportional
+        # to the objective's scale.
+        scale = max(1.0, float(np.abs(numeric).max()))
+        if not np.allclose(analytic, numeric, atol=atol * scale, rtol=rtol):
+            diff = np.abs(analytic - numeric).max()
+            raise AssertionError(
+                f"gradient mismatch for tensor #{index} (shape {tensor.shape}): "
+                f"max abs diff {diff:.3e}\nanalytic={analytic}\nnumeric={numeric}"
+            )

@@ -1,0 +1,70 @@
+"""Training checkpoints: model weights + masks + schedule position.
+
+Sparse training state is more than the weights — resuming NDSNN needs
+the masks and the iteration counter (which drives Eqs. 4/5).  A
+checkpoint bundles all of it into one ``.npz`` plus a JSON sidecar.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from ..nn.module import Module
+from ..sparse.base import SparseTrainingMethod
+from ..utils import load_json, load_state_dict, save_json, save_state_dict
+
+_MASK_PREFIX = "__mask__."
+
+
+def save_checkpoint(
+    path: Union[str, Path],
+    model: Module,
+    method: Optional[SparseTrainingMethod] = None,
+    iteration: int = 0,
+    epoch: int = 0,
+    extra: Optional[Dict] = None,
+) -> None:
+    """Write model weights, sparse masks and counters to disk.
+
+    Produces ``<path>.npz`` (arrays) and ``<path>.json`` (metadata).
+    """
+    path = Path(path)
+    arrays: Dict[str, np.ndarray] = dict(model.state_dict())
+    if method is not None and method.masks is not None:
+        for name, mask in method.masks.masks.items():
+            arrays[_MASK_PREFIX + name] = mask
+    save_state_dict(path.with_suffix(".npz"), arrays)
+    metadata = {
+        "iteration": iteration,
+        "epoch": epoch,
+        "has_masks": method is not None and method.masks is not None,
+        "extra": extra or {},
+    }
+    save_json(path.with_suffix(".json"), metadata)
+
+
+def load_checkpoint(
+    path: Union[str, Path],
+    model: Module,
+    method: Optional[SparseTrainingMethod] = None,
+) -> Dict:
+    """Restore a checkpoint written by :func:`save_checkpoint`.
+
+    Returns the metadata dict (iteration/epoch/extra).  The method must
+    already be bound (its mask manager exists) for masks to load.
+    """
+    path = Path(path)
+    arrays = load_state_dict(path.with_suffix(".npz"))
+    weights = {k: v for k, v in arrays.items() if not k.startswith(_MASK_PREFIX)}
+    masks = {
+        k[len(_MASK_PREFIX):]: v for k, v in arrays.items() if k.startswith(_MASK_PREFIX)
+    }
+    model.load_state_dict(weights)
+    if masks and method is not None:
+        if method.masks is None:
+            raise ValueError("method has no mask manager; bind it before loading masks")
+        method.masks.load_masks(masks)
+    return load_json(path.with_suffix(".json"))

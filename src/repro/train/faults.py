@@ -1,0 +1,124 @@
+"""Fault injection for robustness studies on sparse spiking models.
+
+The paper motivates NDSNN with edge/neuromorphic deployment (Loihi,
+HICANN, FPGAs).  Real devices exhibit weight corruption (SRAM bit
+flips, analog drift) and dead units; this module injects those faults
+so a user can measure how much accuracy a sparse model gives up under
+hardware imperfection — and tests verify graceful degradation.
+
+All injectors mutate parameters in place and return an inverse-patch
+dict so experiments can restore the pristine weights.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..nn.module import Module
+from ..sparse.mask import sparsifiable_parameters
+
+
+def _snapshot(model: Module) -> Dict[str, np.ndarray]:
+    return {name: p.data.copy() for name, p in sparsifiable_parameters(model)}
+
+
+def restore(model: Module, snapshot: Dict[str, np.ndarray]) -> None:
+    """Undo a fault injection using the returned snapshot."""
+    parameters = dict(sparsifiable_parameters(model))
+    for name, values in snapshot.items():
+        parameters[name].data[...] = values
+
+
+def inject_weight_noise(
+    model: Module,
+    sigma: float,
+    rng: Optional[np.random.Generator] = None,
+    relative: bool = True,
+) -> Dict[str, np.ndarray]:
+    """Gaussian perturbation of the *non-zero* weights (analog drift).
+
+    ``relative=True`` scales the noise by each layer's weight standard
+    deviation, which models multiplicative device variation.
+    """
+    if sigma < 0:
+        raise ValueError("sigma must be non-negative")
+    gen = rng if rng is not None else np.random.default_rng()
+    snapshot = _snapshot(model)
+    for name, parameter in sparsifiable_parameters(model):
+        active = parameter.data != 0
+        scale = sigma * (parameter.data[active].std() if relative and active.any() else 1.0)
+        noise = gen.normal(0.0, scale or sigma, size=parameter.shape).astype(np.float32)
+        parameter.data[active] += noise[active]
+    return snapshot
+
+
+def inject_weight_dropout(
+    model: Module,
+    fraction: float,
+    rng: Optional[np.random.Generator] = None,
+) -> Dict[str, np.ndarray]:
+    """Kill a random fraction of surviving weights (stuck-at-zero cells)."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    gen = rng if rng is not None else np.random.default_rng()
+    snapshot = _snapshot(model)
+    for _, parameter in sparsifiable_parameters(model):
+        flat = parameter.data.reshape(-1)
+        active = np.flatnonzero(flat)
+        if active.size == 0:
+            continue
+        kill = gen.choice(active, size=int(fraction * active.size), replace=False)
+        flat[kill] = 0.0
+    return snapshot
+
+
+def inject_bit_flips(
+    model: Module,
+    flips_per_layer: int,
+    bit: int = 23,
+    rng: Optional[np.random.Generator] = None,
+) -> Dict[str, np.ndarray]:
+    """Flip one bit of the float32 representation of random weights.
+
+    ``bit`` indexes from the LSB of the IEEE-754 encoding; 23 is the
+    least-significant exponent bit (a large perturbation), low values
+    perturb the mantissa (small).
+    """
+    if not 0 <= bit <= 31:
+        raise ValueError("bit must be in [0, 31]")
+    if flips_per_layer < 0:
+        raise ValueError("flips_per_layer must be non-negative")
+    gen = rng if rng is not None else np.random.default_rng()
+    snapshot = _snapshot(model)
+    for _, parameter in sparsifiable_parameters(model):
+        flat = parameter.data.reshape(-1)
+        active = np.flatnonzero(flat)
+        if active.size == 0:
+            continue
+        count = min(flips_per_layer, active.size)
+        victims = gen.choice(active, size=count, replace=False)
+        as_int = flat[victims].view(np.uint32)
+        flat[victims] = (as_int ^ np.uint32(1 << bit)).view(np.float32)
+    return snapshot
+
+
+def inject_dead_neurons(
+    model: Module,
+    fraction: float,
+    rng: Optional[np.random.Generator] = None,
+) -> Dict[str, np.ndarray]:
+    """Silence a fraction of output units per layer (dead neurons).
+
+    Zeroes entire filter rows, modelling defective hardware neurons.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    gen = rng if rng is not None else np.random.default_rng()
+    snapshot = _snapshot(model)
+    for _, parameter in sparsifiable_parameters(model):
+        rows = parameter.shape[0]
+        dead = gen.choice(rows, size=int(fraction * rows), replace=False)
+        parameter.data[dead] = 0.0
+    return snapshot

@@ -1,0 +1,57 @@
+"""Training-history logging: CSV and JSON sinks for EpochStats."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from ..utils import save_json
+from .trainer import EpochStats
+
+FIELDS = [
+    "epoch",
+    "train_loss",
+    "train_accuracy",
+    "test_accuracy",
+    "sparsity",
+    "density",
+    "spike_rate",
+    "learning_rate",
+]
+
+
+def write_history_csv(path: Union[str, Path], history: Iterable[EpochStats]) -> None:
+    """Write per-epoch stats as CSV (one row per epoch)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=FIELDS)
+        writer.writeheader()
+        for stats in history:
+            writer.writerow(stats.as_dict())
+
+
+def read_history_csv(path: Union[str, Path]) -> List[EpochStats]:
+    """Read a CSV written by :func:`write_history_csv`."""
+    out: List[EpochStats] = []
+    with open(path, newline="") as handle:
+        for row in csv.DictReader(handle):
+            out.append(
+                EpochStats(
+                    epoch=int(row["epoch"]),
+                    train_loss=float(row["train_loss"]),
+                    train_accuracy=float(row["train_accuracy"]),
+                    test_accuracy=float(row["test_accuracy"]),
+                    sparsity=float(row["sparsity"]),
+                    density=float(row["density"]),
+                    spike_rate=float(row["spike_rate"]),
+                    learning_rate=float(row["learning_rate"]),
+                )
+            )
+    return out
+
+
+def write_history_json(path: Union[str, Path], history: Iterable[EpochStats]) -> None:
+    """Write per-epoch stats as a JSON list."""
+    save_json(path, {"history": [stats.as_dict() for stats in history]})

@@ -1,0 +1,176 @@
+"""Training loop for sparse spiking networks.
+
+The :class:`Trainer` wires together a spiking model, a sparse-training
+method (NDSNN or a baseline), the optimizer and the data loaders, and
+records per-epoch statistics — including the spike rate and density
+traces that feed the paper's Section IV-C training-cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..nn.module import Module
+from ..optim import LRScheduler, Optimizer
+from ..snn.functional import reset_spike_stats, spike_rate
+from ..sparse.base import SparseTrainingMethod
+from ..tensor import Tensor, cross_entropy
+from .metrics import AverageMeter, evaluate
+
+
+@dataclass
+class EpochStats:
+    """Per-epoch record of a training run."""
+
+    epoch: int
+    train_loss: float
+    train_accuracy: float
+    test_accuracy: float
+    sparsity: float
+    density: float
+    spike_rate: float
+    learning_rate: float
+
+    def as_dict(self) -> dict:
+        return {
+            "epoch": self.epoch,
+            "train_loss": self.train_loss,
+            "train_accuracy": self.train_accuracy,
+            "test_accuracy": self.test_accuracy,
+            "sparsity": self.sparsity,
+            "density": self.density,
+            "spike_rate": self.spike_rate,
+            "learning_rate": self.learning_rate,
+        }
+
+
+@dataclass
+class TrainingResult:
+    """Outcome of :meth:`Trainer.fit`."""
+
+    history: List[EpochStats] = field(default_factory=list)
+
+    @property
+    def final_accuracy(self) -> float:
+        return self.history[-1].test_accuracy if self.history else 0.0
+
+    @property
+    def best_accuracy(self) -> float:
+        return max((s.test_accuracy for s in self.history), default=0.0)
+
+    @property
+    def spike_rates(self) -> List[float]:
+        return [s.spike_rate for s in self.history]
+
+    @property
+    def densities(self) -> List[float]:
+        return [s.density for s in self.history]
+
+    @property
+    def sparsities(self) -> List[float]:
+        return [s.sparsity for s in self.history]
+
+
+class Trainer:
+    """Drives one training run of a (sparse) spiking model.
+
+    Parameters
+    ----------
+    model, method, optimizer:
+        The method is bound to the model/optimizer pair at construction
+        (mask initialisation happens here).
+    train_loader / test_loader:
+        Mini-batch iterables of ``(Tensor images, labels)``.
+    scheduler:
+        Optional LR scheduler stepped once per epoch.
+    loss_fn:
+        Defaults to cross-entropy on the temporal-mean logits.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        method: SparseTrainingMethod,
+        optimizer: Optimizer,
+        train_loader,
+        test_loader=None,
+        scheduler: Optional[LRScheduler] = None,
+        loss_fn: Callable[[Tensor, np.ndarray], Tensor] = cross_entropy,
+        grad_clip: Optional[float] = None,
+    ) -> None:
+        self.model = model
+        self.method = method
+        self.optimizer = optimizer
+        self.train_loader = train_loader
+        self.test_loader = test_loader
+        self.scheduler = scheduler
+        self.loss_fn = loss_fn
+        self.grad_clip = grad_clip
+        self.iteration = 0
+        method.bind(model, optimizer)
+
+    # ------------------------------------------------------------------
+    def _clip_gradients(self) -> None:
+        if self.grad_clip is None:
+            return
+        for parameter in self.model.parameters():
+            if parameter.grad is not None:
+                np.clip(parameter.grad, -self.grad_clip, self.grad_clip, out=parameter.grad)
+
+    def train_epoch(self) -> tuple:
+        """One pass over the training data; returns (loss, accuracy)."""
+        self.model.train()
+        loss_meter = AverageMeter()
+        accuracy_meter = AverageMeter()
+        for images, labels in self.train_loader:
+            logits = self.model(images)
+            loss = self.loss_fn(logits, labels)
+            self.optimizer.zero_grad()
+            loss.backward()
+            self._clip_gradients()
+            self.method.after_backward(self.iteration)
+            self.optimizer.step()
+            self.method.after_step(self.iteration)
+            self.iteration += 1
+
+            batch = len(labels)
+            loss_meter.update(float(loss.data), batch)
+            predictions = logits.data.argmax(axis=1)
+            accuracy_meter.update(float((predictions == labels).mean()), batch)
+        return loss_meter.average, accuracy_meter.average
+
+    def fit(self, epochs: int, verbose: bool = False) -> TrainingResult:
+        """Train for ``epochs`` epochs, recording per-epoch statistics."""
+        result = TrainingResult()
+        for epoch in range(epochs):
+            self.method.on_epoch_begin(epoch)
+            reset_spike_stats(self.model)
+            train_loss, train_accuracy = self.train_epoch()
+            epoch_spike_rate = spike_rate(self.model)
+            if self.scheduler is not None:
+                self.scheduler.step()
+            test_accuracy = (
+                evaluate(self.model, self.test_loader) if self.test_loader is not None else 0.0
+            )
+            self.method.on_epoch_end(epoch)
+            stats = EpochStats(
+                epoch=epoch,
+                train_loss=train_loss,
+                train_accuracy=train_accuracy,
+                test_accuracy=test_accuracy,
+                sparsity=self.method.sparsity(),
+                density=self.method.density(),
+                spike_rate=epoch_spike_rate,
+                learning_rate=self.optimizer.lr,
+            )
+            result.history.append(stats)
+            if verbose:
+                print(
+                    f"epoch {epoch:3d}  loss {train_loss:.4f}  "
+                    f"train {train_accuracy:.3f}  test {test_accuracy:.3f}  "
+                    f"sparsity {stats.sparsity:.3f}  spikes {epoch_spike_rate:.3f}"
+                )
+        return result

@@ -1,0 +1,94 @@
+"""Small shared utilities: seeding, timing, result serialization."""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Dict, Union
+
+import numpy as np
+
+from .nn import init as nn_init
+
+
+def seed_everything(seed: int) -> np.random.Generator:
+    """Seed numpy's legacy RNG and the layer-init default generator.
+
+    Returns a fresh ``Generator`` for the caller's own sampling needs.
+    Code in this library threads explicit generators where determinism
+    matters; this helper covers the module-level defaults.
+    """
+    np.random.seed(seed)
+    nn_init.set_default_seed(seed)
+    return np.random.default_rng(seed)
+
+
+class Timer:
+    """Wall-clock timer usable as a context manager.
+
+    >>> with Timer() as t:
+    ...     pass
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.start = 0.0
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "Timer":
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self.start
+
+
+@contextmanager
+def timed(label: str, sink=print):
+    """Context manager printing '<label>: <seconds>s' on exit."""
+    start = time.perf_counter()
+    yield
+    sink(f"{label}: {time.perf_counter() - start:.2f}s")
+
+
+def _jsonable(value: Any) -> Any:
+    """Recursively convert numpy scalars/arrays for json.dump."""
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    return value
+
+
+def save_json(path: Union[str, Path], payload: Dict[str, Any]) -> None:
+    """Write a dict (numpy-friendly) as pretty-printed JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(_jsonable(payload), handle, indent=2, sort_keys=True)
+
+
+def load_json(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read a JSON file written by :func:`save_json`."""
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def save_state_dict(path: Union[str, Path], state: Dict[str, np.ndarray]) -> None:
+    """Persist a model/optimizer state dict as a compressed .npz."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **state)
+
+
+def load_state_dict(path: Union[str, Path]) -> Dict[str, np.ndarray]:
+    """Load a state dict saved by :func:`save_state_dict`."""
+    with np.load(path) as archive:
+        return {key: archive[key] for key in archive.files}

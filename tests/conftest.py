@@ -1,0 +1,39 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.data import DataLoader, make_dataset
+from repro.snn.models import SpikingConvNet, SpikingMLP
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_convnet(rng):
+    """A small spiking convnet with enough weights for sparsity tests."""
+    return SpikingConvNet(
+        num_classes=4,
+        in_channels=2,
+        image_size=8,
+        channels=(8, 12),
+        timesteps=3,
+        rng=rng,
+    )
+
+
+@pytest.fixture
+def tiny_mlp(rng):
+    return SpikingMLP(in_features=16, num_classes=3, hidden=(24,), timesteps=3, rng=rng)
+
+
+@pytest.fixture
+def tiny_loaders():
+    train = make_dataset("cifar10", train=True, num_samples=64, image_size=8, seed=7)
+    test = make_dataset("cifar10", train=False, num_samples=32, image_size=8, seed=7)
+    train_loader = DataLoader(train, batch_size=16, shuffle=True, rng=np.random.default_rng(0))
+    test_loader = DataLoader(test, batch_size=16, shuffle=False)
+    return train_loader, test_loader, train

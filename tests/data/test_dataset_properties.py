@@ -1,0 +1,50 @@
+"""Property-based tests of the synthetic data substrate (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import DataLoader, make_dataset
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    num_samples=st.integers(min_value=10, max_value=60),
+    image_size=st.sampled_from([8, 12, 16]),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_dataset_shapes_and_ranges(num_samples, image_size, seed):
+    dataset = make_dataset("cifar10", num_samples=num_samples, image_size=image_size, seed=seed)
+    assert len(dataset) == num_samples
+    image, label = dataset[0]
+    assert image.shape == (3, image_size, image_size)
+    assert 0 <= label < 10
+    assert np.isfinite(dataset.images).all()
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    batch_size=st.integers(min_value=1, max_value=17),
+    num_samples=st.integers(min_value=5, max_value=40),
+)
+def test_loader_covers_every_sample_exactly_once(batch_size, num_samples):
+    dataset = make_dataset("cifar10", num_samples=max(num_samples, 10), image_size=8, seed=1)
+    loader = DataLoader(dataset, batch_size=batch_size, shuffle=True,
+                        rng=np.random.default_rng(2))
+    seen = 0
+    label_counts = np.zeros(10, dtype=int)
+    for images, labels in loader:
+        seen += len(labels)
+        label_counts += np.bincount(labels, minlength=10)
+    assert seen == len(dataset)
+    assert label_counts.sum() == len(dataset)
+    assert np.array_equal(np.sort(label_counts), np.sort(np.bincount(dataset.labels, minlength=10)))
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=100))
+def test_train_and_test_share_class_structure(seed):
+    train = make_dataset("cifar10", train=True, num_samples=20, image_size=8, seed=seed)
+    test = make_dataset("cifar10", train=False, num_samples=20, image_size=8, seed=seed)
+    assert np.array_equal(train.prototypes, test.prototypes)
+    assert not np.array_equal(train.images, test.images)

@@ -1,0 +1,68 @@
+"""DataLoader batching semantics."""
+
+import numpy as np
+import pytest
+
+from repro.data import ArrayDataset, DataLoader
+from repro.tensor import Tensor
+
+
+def dataset(n=10):
+    images = np.arange(n, dtype=np.float32).reshape(n, 1, 1, 1)
+    labels = np.arange(n) % 3
+    return ArrayDataset(images, labels)
+
+
+class TestBatching:
+    def test_batch_shapes(self):
+        loader = DataLoader(dataset(10), batch_size=4, shuffle=False)
+        batches = list(loader)
+        assert len(batches) == 3
+        assert batches[0][0].shape == (4, 1, 1, 1)
+        assert batches[-1][0].shape == (2, 1, 1, 1)  # remainder kept
+
+    def test_drop_last(self):
+        loader = DataLoader(dataset(10), batch_size=4, shuffle=False, drop_last=True)
+        batches = list(loader)
+        assert len(batches) == 2
+        assert len(loader) == 2
+
+    def test_len_without_drop(self):
+        assert len(DataLoader(dataset(10), batch_size=4)) == 3
+        assert len(DataLoader(dataset(8), batch_size=4)) == 2
+
+    def test_yields_tensors_and_labels(self):
+        loader = DataLoader(dataset(4), batch_size=2, shuffle=False)
+        images, labels = next(iter(loader))
+        assert isinstance(images, Tensor)
+        assert isinstance(labels, np.ndarray)
+        assert labels.dtype == np.int64
+
+    def test_no_shuffle_preserves_order(self):
+        loader = DataLoader(dataset(6), batch_size=3, shuffle=False)
+        images, _ = next(iter(loader))
+        assert np.allclose(images.data.reshape(-1), [0, 1, 2])
+
+    def test_shuffle_deterministic_with_rng(self):
+        a = DataLoader(dataset(10), batch_size=5, shuffle=True, rng=np.random.default_rng(3))
+        b = DataLoader(dataset(10), batch_size=5, shuffle=True, rng=np.random.default_rng(3))
+        xa, _ = next(iter(a))
+        xb, _ = next(iter(b))
+        assert np.array_equal(xa.data, xb.data)
+
+    def test_shuffle_changes_between_epochs(self):
+        loader = DataLoader(dataset(20), batch_size=20, shuffle=True, rng=np.random.default_rng(4))
+        first, _ = next(iter(loader))
+        second, _ = next(iter(loader))
+        assert not np.array_equal(first.data, second.data)
+
+    def test_transform_applied(self):
+        loader = DataLoader(
+            dataset(4), batch_size=4, shuffle=False, transform=lambda batch: batch * 2
+        )
+        images, _ = next(iter(loader))
+        assert np.allclose(images.data.reshape(-1), [0, 2, 4, 6])
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            DataLoader(dataset(4), batch_size=0)

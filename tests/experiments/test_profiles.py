@@ -1,0 +1,53 @@
+"""Benchmark profile plumbing (imported from benchmarks/_profiles.py)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+PROFILE_PATH = Path(__file__).resolve().parents[2] / "benchmarks" / "_profiles.py"
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    spec = importlib.util.spec_from_file_location("_profiles_under_test", PROFILE_PATH)
+    module = importlib.util.module_from_spec(spec)
+    # Dataclasses resolve string annotations through sys.modules, so the
+    # module must be registered before execution.
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    yield module
+    sys.modules.pop(spec.name, None)
+
+
+class TestProfiles:
+    def test_quick_profile_is_smaller_than_full(self, profiles):
+        quick, full = profiles.QUICK_PROFILE, profiles.FULL_PROFILE
+        assert quick.epochs <= full.epochs
+        assert quick.train_samples <= full.train_samples
+        assert quick.timesteps <= full.timesteps
+        assert len(quick.sparsities) <= len(full.sparsities)
+
+    def test_full_profile_matches_paper_sparsities(self, profiles):
+        assert profiles.FULL_PROFILE.sparsities == (0.9, 0.95, 0.98, 0.99)
+
+    def test_epochs_for_resnet_differ(self, profiles):
+        profile = profiles.QUICK_PROFILE
+        assert profile.epochs_for("resnet19") == profile.epochs_resnet
+        assert profile.epochs_for("vgg16") == profile.epochs
+
+    def test_image_size_for_datasets(self, profiles):
+        profile = profiles.QUICK_PROFILE
+        assert profile.image_size_for("tiny_imagenet") == profile.image_size_tiny
+        assert profile.image_size_for("cifar10") == profile.image_size_cifar
+
+    def test_profile_config_builds_valid_config(self, profiles):
+        config = profiles.profile_config("cifar10", "vgg16", "ndsnn", 0.95)
+        assert config.sparsity == 0.95
+        assert config.model == "vgg16"
+        assert config.epochs == profiles.PROFILE.epochs
+
+    def test_profile_config_overrides(self, profiles):
+        config = profiles.profile_config("cifar10", "vgg16", "ndsnn", 0.9, epochs=99)
+        assert config.epochs == 99

@@ -1,0 +1,107 @@
+"""Experiment configs and runners (the bench code path)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    SCALED_NUM_CLASSES,
+    build_loaders,
+    build_method,
+    iterations_per_epoch,
+    run_experiment,
+    run_lth_experiment,
+    run_method,
+    scaled_config,
+)
+from repro.sparse import ADMMPruner, DenseMethod, NDSNN, RigLSNN, SETSNN
+
+FAST = dict(epochs=1, train_samples=32, test_samples=16, timesteps=2, batch_size=16)
+
+
+class TestConfig:
+    def test_scaled_config_defaults(self):
+        config = scaled_config("cifar100", "convnet", "ndsnn", 0.95)
+        assert config.num_classes == SCALED_NUM_CLASSES["cifar100"]
+        assert config.sparsity == 0.95
+
+    def test_scaled_overrides(self):
+        config = scaled_config("cifar10", "convnet", "set", 0.9, epochs=7)
+        assert config.epochs == 7
+
+    def test_scaled_copy(self):
+        config = ExperimentConfig()
+        other = config.scaled(sparsity=0.99)
+        assert other.sparsity == 0.99
+        assert config.sparsity != 0.99 or config.sparsity == 0.9
+
+
+class TestBuilders:
+    def test_loaders_geometry(self):
+        config = scaled_config("cifar10", "convnet", "dense", 0.9, **FAST)
+        train_loader, test_loader, train_set = build_loaders(config)
+        assert train_set.num_classes == 10
+        images, labels = next(iter(train_loader))
+        assert images.shape[0] == 16
+
+    @pytest.mark.parametrize("name,cls", [
+        ("dense", DenseMethod),
+        ("ndsnn", NDSNN),
+        ("set", SETSNN),
+        ("rigl", RigLSNN),
+        ("admm", ADMMPruner),
+    ])
+    def test_build_method(self, name, cls):
+        config = scaled_config("cifar10", "convnet", name, 0.9, **FAST)
+        assert isinstance(build_method(config, 100), cls)
+
+    def test_build_method_rejects_lth(self):
+        config = scaled_config("cifar10", "convnet", "lth", 0.9, **FAST)
+        with pytest.raises(ValueError):
+            build_method(config, 100)
+
+    def test_iterations_per_epoch(self):
+        config = scaled_config("cifar10", "convnet", "dense", 0.9,
+                               train_samples=33, batch_size=16)
+        assert iterations_per_epoch(config) == 3
+
+
+class TestRunners:
+    def test_run_experiment_dense(self):
+        config = scaled_config("cifar10", "convnet", "dense", 0.9, **FAST)
+        outcome = run_experiment(config)
+        assert 0.0 <= outcome.final_accuracy <= 1.0
+        assert outcome.final_sparsity == 0.0
+        assert len(outcome.history) == 1
+
+    def test_run_experiment_ndsnn_reaches_sparsity(self):
+        config = scaled_config(
+            "cifar10", "convnet", "ndsnn", 0.9,
+            epochs=3, train_samples=64, test_samples=16, timesteps=2,
+            batch_size=16, update_frequency=2, initial_sparsity=0.5,
+        )
+        outcome = run_experiment(config)
+        assert abs(outcome.final_sparsity - 0.9) < 0.05
+
+    def test_run_lth_concatenates_history(self):
+        config = scaled_config("cifar10", "convnet", "lth", 0.9, **FAST)
+        outcome = run_lth_experiment(config, rounds=2, epochs_per_round=1)
+        assert len(outcome.history) == 2
+        assert abs(outcome.final_sparsity - 0.9) < 0.05
+
+    def test_run_method_dispatch(self):
+        config = scaled_config("cifar10", "convnet", "lth", 0.9, **FAST, lth_rounds=2)
+        outcome = run_method(config)
+        assert len(outcome.history) == 2
+
+    def test_outcome_traces(self):
+        config = scaled_config("cifar10", "convnet", "dense", 0.9, **FAST)
+        outcome = run_experiment(config)
+        assert len(outcome.spike_rates) == len(outcome.densities) == len(outcome.history)
+        assert all(0 <= r <= 1 for r in outcome.spike_rates)
+
+    def test_determinism_same_seed(self):
+        config = scaled_config("cifar10", "convnet", "ndsnn", 0.9, **FAST, seed=5)
+        first = run_experiment(config)
+        second = run_experiment(config)
+        assert first.final_accuracy == second.final_accuracy

@@ -1,0 +1,53 @@
+"""Table/plot rendering helpers used by the benches."""
+
+from repro.experiments.tables import ascii_plot, format_series, format_table
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(["a", "bb"], [(1, 2.5), ("x", 0.125)])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "-+-" in lines[1]
+        assert "2.50" in lines[2]  # float formatting
+        assert "0.12" in lines[3]
+
+    def test_title(self):
+        text = format_table(["col"], [(1,)], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_column_width_tracks_longest_cell(self):
+        text = format_table(["c"], [("extremely-long-cell",)])
+        header = text.splitlines()[0]
+        assert len(header) >= len("extremely-long-cell")
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert len(text.splitlines()) == 2  # header + rule only
+
+
+class TestFormatSeries:
+    def test_pairs(self):
+        text = format_series("acc", [1, 2], [0.5, 0.75], x_label="epoch")
+        assert "acc" in text
+        assert "1:0.500" in text
+        assert "2:0.750" in text
+
+
+class TestAsciiPlot:
+    def test_contains_markers_and_legend(self):
+        plot = ascii_plot({"up": [0.0, 0.5, 1.0], "down": [1.0, 0.5, 0.0]}, width=20, height=5)
+        assert "* = down" in plot or "* = up" in plot
+        assert "max=1.000" in plot
+        assert "min=0.000" in plot
+
+    def test_flat_series_no_crash(self):
+        plot = ascii_plot({"flat": [0.5, 0.5, 0.5]}, width=10, height=3)
+        assert "flat" in plot
+
+    def test_empty(self):
+        assert ascii_plot({}) == "(empty plot)"
+
+    def test_title(self):
+        plot = ascii_plot({"s": [0, 1]}, title="T")
+        assert plot.splitlines()[0] == "T"

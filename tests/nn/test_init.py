@@ -1,0 +1,60 @@
+"""Weight initialization schemes."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.nn import init
+
+
+class TestFanComputation:
+    def test_linear_shape(self):
+        fan_in, fan_out = init._fan_in_out((10, 20))
+        assert fan_in == 20 and fan_out == 10
+
+    def test_conv_shape(self):
+        fan_in, fan_out = init._fan_in_out((8, 4, 3, 3))
+        assert fan_in == 4 * 9 and fan_out == 8 * 9
+
+    def test_unsupported_shape_raises(self):
+        with pytest.raises(ValueError):
+            init._fan_in_out((5,))
+
+
+class TestDistributions:
+    def test_kaiming_uniform_bound(self):
+        rng = np.random.default_rng(0)
+        weights = init.kaiming_uniform((64, 32), rng=rng)
+        bound = math.sqrt(2.0) * math.sqrt(3.0 / 32)
+        assert np.abs(weights).max() <= bound
+        assert weights.dtype == np.float32
+
+    def test_kaiming_normal_std(self):
+        rng = np.random.default_rng(1)
+        weights = init.kaiming_normal((400, 100), rng=rng)
+        expected_std = math.sqrt(2.0) / math.sqrt(100)
+        assert abs(weights.std() - expected_std) < expected_std * 0.1
+
+    def test_xavier_uniform_bound(self):
+        rng = np.random.default_rng(2)
+        weights = init.xavier_uniform((30, 50), rng=rng)
+        bound = math.sqrt(6.0 / 80)
+        assert np.abs(weights).max() <= bound
+
+    def test_bias_bound(self):
+        rng = np.random.default_rng(3)
+        bias = init.uniform_bias((10,), (10, 25), rng=rng)
+        assert np.abs(bias).max() <= 1.0 / math.sqrt(25)
+
+    def test_determinism_with_same_rng_seed(self):
+        a = init.kaiming_uniform((5, 5), rng=np.random.default_rng(7))
+        b = init.kaiming_uniform((5, 5), rng=np.random.default_rng(7))
+        assert np.array_equal(a, b)
+
+    def test_set_default_seed(self):
+        init.set_default_seed(99)
+        a = init.kaiming_uniform((4, 4))
+        init.set_default_seed(99)
+        b = init.kaiming_uniform((4, 4))
+        assert np.array_equal(a, b)

@@ -1,0 +1,71 @@
+"""Learning-rate schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.optim import SGD, ConstantLR, CosineAnnealingLR, MultiStepLR, StepLR
+
+
+def optimizer(lr=1.0):
+    return SGD([Parameter(np.zeros(1, dtype=np.float32))], lr=lr)
+
+
+class TestCosine:
+    def test_starts_at_base_lr(self):
+        opt = optimizer(lr=0.3)
+        scheduler = CosineAnnealingLR(opt, t_max=10)
+        scheduler.step()
+        assert np.isclose(opt.lr, 0.3)
+
+    def test_reaches_eta_min(self):
+        opt = optimizer(lr=0.3)
+        scheduler = CosineAnnealingLR(opt, t_max=5, eta_min=0.01)
+        for _ in range(6):
+            scheduler.step()
+        assert np.isclose(opt.lr, 0.01)
+
+    def test_halfway_point(self):
+        opt = optimizer(lr=1.0)
+        scheduler = CosineAnnealingLR(opt, t_max=10)
+        for _ in range(6):  # epochs 0..5
+            lr = scheduler.step()
+        assert np.isclose(lr, 0.5)
+
+    def test_monotone_decreasing(self):
+        opt = optimizer(lr=1.0)
+        scheduler = CosineAnnealingLR(opt, t_max=20)
+        values = [scheduler.step() for _ in range(20)]
+        assert all(b <= a + 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(optimizer(), t_max=0)
+
+
+class TestStep:
+    def test_decays_every_step_size(self):
+        opt = optimizer(lr=1.0)
+        scheduler = StepLR(opt, step_size=2, gamma=0.1)
+        lrs = [scheduler.step() for _ in range(5)]
+        assert np.allclose(lrs, [1.0, 1.0, 0.1, 0.1, 0.01])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StepLR(optimizer(), step_size=0)
+
+
+class TestMultiStep:
+    def test_milestones(self):
+        opt = optimizer(lr=1.0)
+        scheduler = MultiStepLR(opt, milestones=[2, 4], gamma=0.5)
+        lrs = [scheduler.step() for _ in range(5)]
+        assert np.allclose(lrs, [1.0, 1.0, 0.5, 0.5, 0.25])
+
+
+class TestConstant:
+    def test_constant(self):
+        opt = optimizer(lr=0.7)
+        scheduler = ConstantLR(opt)
+        for _ in range(3):
+            assert scheduler.step() == 0.7

@@ -1,0 +1,107 @@
+"""SGD/Adam optimizer mechanics."""
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.optim import SGD, Adam
+
+
+def param(values):
+    return Parameter(np.asarray(values, dtype=np.float32))
+
+
+class TestSGD:
+    def test_vanilla_step(self):
+        p = param([1.0, 2.0])
+        p.grad = np.array([0.5, -0.5], dtype=np.float32)
+        SGD([p], lr=0.1).step()
+        assert np.allclose(p.data, [0.95, 2.05])
+
+    def test_skips_parameters_without_grad(self):
+        p = param([1.0])
+        SGD([p], lr=0.1).step()
+        assert np.allclose(p.data, [1.0])
+
+    def test_weight_decay(self):
+        p = param([2.0])
+        p.grad = np.array([0.0], dtype=np.float32)
+        SGD([p], lr=0.1, weight_decay=0.5).step()
+        # effective grad = 0 + 0.5*2 = 1 -> w = 2 - 0.1 = 1.9
+        assert np.allclose(p.data, [1.9])
+
+    def test_momentum_accumulates(self):
+        p = param([0.0])
+        optimizer = SGD([p], lr=1.0, momentum=0.5)
+        p.grad = np.array([1.0], dtype=np.float32)
+        optimizer.step()  # v=1, w=-1
+        p.grad = np.array([1.0], dtype=np.float32)
+        optimizer.step()  # v=1.5, w=-2.5
+        assert np.allclose(p.data, [-2.5])
+
+    def test_nesterov(self):
+        p = param([0.0])
+        optimizer = SGD([p], lr=1.0, momentum=0.5, nesterov=True)
+        p.grad = np.array([1.0], dtype=np.float32)
+        optimizer.step()  # v=1, update = g + mu*v = 1.5 -> w=-1.5
+        assert np.allclose(p.data, [-1.5])
+
+    def test_state_for_and_reset(self):
+        p = param([0.0, 0.0, 0.0])
+        optimizer = SGD([p], lr=0.1, momentum=0.9)
+        p.grad = np.array([1.0, 2.0, 3.0], dtype=np.float32)
+        optimizer.step()
+        velocity = optimizer.state_for(p)
+        assert np.allclose(velocity, [1.0, 2.0, 3.0])
+        optimizer.reset_state_entries(p, np.array([1]))
+        assert np.allclose(optimizer.state_for(p), [1.0, 0.0, 3.0])
+
+    def test_zero_grad(self):
+        p = param([1.0])
+        p.grad = np.array([1.0], dtype=np.float32)
+        optimizer = SGD([p], lr=0.1)
+        optimizer.zero_grad()
+        assert p.grad is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+        with pytest.raises(ValueError):
+            SGD([param([1.0])], lr=-1.0)
+        with pytest.raises(ValueError):
+            SGD([param([1.0])], lr=0.1, momentum=1.0)
+        with pytest.raises(ValueError):
+            SGD([param([1.0])], lr=0.1, weight_decay=-0.1)
+        with pytest.raises(ValueError):
+            SGD([param([1.0])], lr=0.1, nesterov=True)
+
+
+class TestAdam:
+    def test_first_step_size(self):
+        p = param([0.0])
+        optimizer = Adam([p], lr=0.001)
+        p.grad = np.array([1.0], dtype=np.float32)
+        optimizer.step()
+        # Bias-corrected first step moves ~lr in the gradient direction.
+        assert np.isclose(p.data[0], -0.001, atol=1e-5)
+
+    def test_converges_on_quadratic(self):
+        p = param([5.0])
+        optimizer = Adam([p], lr=0.5)
+        for _ in range(200):
+            p.grad = 2 * p.data  # d/dx x^2
+            optimizer.step()
+        assert abs(p.data[0]) < 0.1
+
+    def test_reset_state_entries(self):
+        p = param([0.0, 0.0])
+        optimizer = Adam([p], lr=0.1)
+        p.grad = np.array([1.0, 1.0], dtype=np.float32)
+        optimizer.step()
+        optimizer.reset_state_entries(p, np.array([0]))
+        assert optimizer.state_for(p)[0] == 0.0
+        assert optimizer.state_for(p)[1] != 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Adam([param([1.0])], lr=0.1, betas=(1.0, 0.9))

@@ -1,0 +1,68 @@
+"""Input encoders."""
+
+import numpy as np
+import pytest
+
+from repro.snn import DirectEncoder, LatencyEncoder, PoissonEncoder, build_encoder
+from repro.tensor import Tensor
+
+
+class TestDirectEncoder:
+    def test_repeats_input(self):
+        encoder = DirectEncoder(timesteps=3)
+        x = Tensor(np.ones((2, 2), dtype=np.float32))
+        frames = list(encoder(x))
+        assert len(frames) == 3
+        assert all(frame is x for frame in frames)
+
+    def test_invalid_timesteps(self):
+        with pytest.raises(ValueError):
+            DirectEncoder(0)
+
+
+class TestPoissonEncoder:
+    def test_rate_matches_intensity(self):
+        encoder = PoissonEncoder(timesteps=500, rng=np.random.default_rng(0))
+        x = Tensor(np.full((10, 10), 0.3, dtype=np.float32))
+        rates = np.mean([frame.data for frame in encoder(x)], axis=0)
+        assert abs(rates.mean() - 0.3) < 0.02
+
+    def test_binary_output(self):
+        encoder = PoissonEncoder(timesteps=5, rng=np.random.default_rng(1))
+        x = Tensor(np.random.default_rng(2).random((4, 4)).astype(np.float32))
+        for frame in encoder(x):
+            assert set(np.unique(frame.data)).issubset({0.0, 1.0})
+
+    def test_clipping_out_of_range(self):
+        encoder = PoissonEncoder(timesteps=10, rng=np.random.default_rng(3))
+        x = Tensor(np.array([[2.0]], dtype=np.float32))  # clipped to 1 -> always fires
+        assert all(frame.data[0, 0] == 1.0 for frame in encoder(x))
+
+
+class TestLatencyEncoder:
+    def test_exactly_one_spike_per_pixel(self):
+        encoder = LatencyEncoder(timesteps=4)
+        x = Tensor(np.array([[0.0, 0.5, 1.0]], dtype=np.float32))
+        total = sum(frame.data for frame in encoder(x))
+        assert np.allclose(total, 1.0)
+
+    def test_bright_pixels_fire_first(self):
+        encoder = LatencyEncoder(timesteps=4)
+        x = Tensor(np.array([[1.0, 0.0]], dtype=np.float32))
+        frames = [frame.data for frame in encoder(x)]
+        assert frames[0][0, 0] == 1.0  # brightest fires at t=0
+        assert frames[-1][0, 1] == 1.0  # darkest fires last
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [
+        ("direct", DirectEncoder),
+        ("poisson", PoissonEncoder),
+        ("latency", LatencyEncoder),
+    ])
+    def test_build(self, name, cls):
+        assert isinstance(build_encoder(name, 4), cls)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            build_encoder("wavelet", 4)

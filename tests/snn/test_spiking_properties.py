@@ -1,0 +1,95 @@
+"""Property-based tests of spiking dynamics (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.snn import IFNeuron, LIFNeuron
+from repro.tensor import Tensor
+
+currents = st.lists(
+    st.floats(min_value=-2.0, max_value=3.0, allow_nan=False, width=32),
+    min_size=1,
+    max_size=12,
+)
+
+
+def drive(neuron, inputs):
+    spikes = []
+    for value in inputs:
+        out = neuron(Tensor(np.array([value], dtype=np.float32)))
+        spikes.append(float(out.data[0]))
+    return spikes
+
+
+@settings(max_examples=50, deadline=None)
+@given(currents, st.floats(min_value=0.1, max_value=1.0))
+def test_outputs_are_binary(inputs, alpha):
+    neuron = LIFNeuron(alpha=alpha)
+    for spike in drive(neuron, inputs):
+        assert spike in (0.0, 1.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(currents)
+def test_spike_count_matches_counter(inputs):
+    neuron = LIFNeuron()
+    spikes = drive(neuron, inputs)
+    assert neuron.spike_count == sum(spikes)
+    assert neuron.neuron_steps == len(inputs)
+
+
+@settings(max_examples=30, deadline=None)
+@given(currents)
+def test_reset_gives_identical_replay(inputs):
+    """Dynamics are deterministic given state reset."""
+    neuron = LIFNeuron(alpha=0.6)
+    first = drive(neuron, inputs)
+    neuron.reset_state()
+    second = drive(neuron, inputs)
+    assert first == second
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.floats(min_value=0.1, max_value=0.95),
+    st.floats(min_value=0.3, max_value=0.99, exclude_max=True),
+)
+def test_if_fires_at_least_as_often_as_lif(threshold, alpha):
+    """With leak removed (alpha=1) membrane only grows faster, so the
+    IF neuron fires at least as many times on constant positive input."""
+    inputs = [0.3] * 10
+    lif = LIFNeuron(alpha=alpha, v_threshold=threshold)
+    iff = IFNeuron(v_threshold=threshold)
+    assert sum(drive(iff, inputs)) >= sum(drive(lif, inputs))
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.floats(min_value=1.0, max_value=3.0))
+def test_suprathreshold_constant_input_if_fires_every_step(value):
+    """For the IF neuron (no leak) input >= threshold fires every step:
+    the soft reset removes exactly one threshold's worth of charge, and
+    the input immediately replaces it."""
+    neuron = IFNeuron(v_threshold=1.0)
+    spikes = drive(neuron, [value] * 6)
+    assert spikes == [1.0] * 6
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.floats(min_value=1.0, max_value=3.0), st.floats(min_value=0.1, max_value=1.0))
+def test_suprathreshold_constant_input_lif_fires_at_least_half(value, alpha):
+    """A leaky neuron under constant suprathreshold drive may skip the
+    step after a spike (leak + soft reset), but never two in a row."""
+    neuron = LIFNeuron(alpha=alpha, v_threshold=1.0)
+    spikes = drive(neuron, [value] * 8)
+    assert spikes[0] == 1.0
+    for first, second in zip(spikes, spikes[1:]):
+        assert first == 1.0 or second == 1.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(currents)
+def test_negative_input_never_fires(inputs):
+    neuron = LIFNeuron()
+    negative = [-abs(value) - 0.01 for value in inputs]
+    assert sum(drive(neuron, negative)) == 0.0

@@ -1,0 +1,93 @@
+"""Surrogate gradient functions."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.snn import (
+    ATan,
+    FastInverse,
+    SigmoidSurrogate,
+    StraightThrough,
+    Triangle,
+    available_surrogates,
+    get_surrogate,
+)
+
+
+class TestFastInverse:
+    """The paper's Eq. 3 surrogate."""
+
+    def test_peak_value_at_zero(self):
+        fn = FastInverse()
+        assert fn(np.array([0.0]))[0] == 1.0
+
+    def test_matches_formula(self):
+        fn = FastInverse()
+        x = np.array([0.5, -0.5, 2.0])
+        expected = 1.0 / (1.0 + math.pi ** 2 * x ** 2)
+        assert np.allclose(fn(x), expected)
+
+    def test_decays_far_from_threshold(self):
+        fn = FastInverse()
+        assert fn(np.array([10.0]))[0] < 1e-2
+
+
+class TestOtherSurrogates:
+    def test_atan_peak(self):
+        fn = ATan(alpha=2.0)
+        assert np.isclose(fn(np.array([0.0]))[0], 1.0)
+
+    def test_sigmoid_peak(self):
+        fn = SigmoidSurrogate(alpha=4.0)
+        assert np.isclose(fn(np.array([0.0]))[0], 1.0)  # alpha/4
+
+    def test_triangle_support(self):
+        fn = Triangle(gamma=1.0)
+        assert fn(np.array([0.0]))[0] == 1.0
+        assert fn(np.array([1.5]))[0] == 0.0
+
+    def test_ste_boxcar(self):
+        fn = StraightThrough(width=1.0)
+        values = fn(np.array([0.0, 0.4, 0.6]))
+        assert values.tolist() == [1.0, 1.0, 0.0]
+
+
+class TestRegistry:
+    def test_all_names_buildable(self):
+        for name in available_surrogates():
+            fn = get_surrogate(name)
+            assert callable(fn)
+
+    def test_kwargs_forwarded(self):
+        fn = get_surrogate("atan", alpha=5.0)
+        assert fn.alpha == 5.0
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown surrogate"):
+            get_surrogate("does_not_exist")
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.floats(min_value=-50, max_value=50, allow_nan=False))
+def test_surrogates_are_nonnegative_and_symmetric(x):
+    """All pseudo-derivatives are even functions with values >= 0."""
+    point = np.array([x], dtype=np.float64)
+    for name in available_surrogates():
+        fn = get_surrogate(name)
+        value = fn(point)[0]
+        mirrored = fn(-point)[0]
+        assert value >= 0.0
+        assert np.isclose(value, mirrored, atol=1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.floats(min_value=0.1, max_value=50, allow_nan=False))
+def test_surrogates_peak_at_origin(x):
+    """The pseudo-derivative is maximal at the firing threshold."""
+    for name in available_surrogates():
+        fn = get_surrogate(name)
+        assert fn(np.array([0.0]))[0] >= fn(np.array([x]))[0]

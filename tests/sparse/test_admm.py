@@ -1,0 +1,123 @@
+"""ADMM pruning baseline."""
+
+import numpy as np
+import pytest
+
+from repro.optim import SGD
+from repro.snn.models import SpikingMLP
+from repro.sparse import ADMMPruner
+from repro.tensor import Tensor, cross_entropy
+
+
+def make_model(seed=0):
+    return SpikingMLP(
+        in_features=20, num_classes=3, hidden=(24,), timesteps=2,
+        rng=np.random.default_rng(seed),
+    )
+
+
+def train_steps(model, method, steps, seed=1):
+    rng = np.random.default_rng(seed)
+    optimizer = SGD(model.parameters(), lr=0.05)
+    method.bind(model, optimizer)
+    for iteration in range(steps):
+        x = Tensor(rng.standard_normal((6, 20)).astype(np.float32))
+        y = rng.integers(0, 3, 6)
+        loss = cross_entropy(model(x), y)
+        optimizer.zero_grad()
+        loss.backward()
+        method.after_backward(iteration)
+        optimizer.step()
+        method.after_step(iteration)
+
+
+class TestProjection:
+    def test_projection_keeps_topk(self):
+        weights = np.array([[3.0, -0.1], [0.5, -2.0]], dtype=np.float32)
+        projected = ADMMPruner._project(weights, density=0.5)
+        assert projected[0, 0] == 3.0 and projected[1, 1] == -2.0
+        assert projected[0, 1] == 0.0 and projected[1, 0] == 0.0
+
+    def test_projection_preserves_values(self):
+        rng = np.random.default_rng(0)
+        weights = rng.standard_normal((10, 10)).astype(np.float32)
+        projected = ADMMPruner._project(weights, density=0.3)
+        kept = projected != 0
+        assert np.allclose(projected[kept], weights[kept])
+        assert kept.sum() == 30
+
+
+class TestPhases:
+    def test_dense_during_admm_phase(self):
+        model = make_model()
+        method = ADMMPruner(sparsity=0.8, total_iterations=40, admm_fraction=0.5,
+                            rng=np.random.default_rng(1))
+        train_steps(model, method, 10)
+        assert method.sparsity() == 0.0
+        assert not method.pruned
+
+    def test_hard_prune_at_phase_boundary(self):
+        model = make_model(seed=2)
+        method = ADMMPruner(sparsity=0.8, total_iterations=40, admm_fraction=0.5,
+                            rng=np.random.default_rng(2))
+        train_steps(model, method, 25)
+        assert method.pruned
+        assert abs(method.sparsity() - 0.8) < 0.05
+
+    def test_mask_static_after_prune(self):
+        model = make_model(seed=3)
+        method = ADMMPruner(sparsity=0.7, total_iterations=30, admm_fraction=0.5,
+                            rng=np.random.default_rng(3))
+        train_steps(model, method, 16)
+        masks_at_prune = method.masks.copy_masks()
+        train_steps_continue(model, method, 16, 30)
+        for name in masks_at_prune:
+            assert np.array_equal(masks_at_prune[name], method.masks.masks[name])
+
+    def test_sparsity_trace_shape(self):
+        """The train-prune-retrain curve: zeros then the target (Fig. 1)."""
+        model = make_model(seed=4)
+        method = ADMMPruner(sparsity=0.9, total_iterations=20, admm_fraction=0.5,
+                            rng=np.random.default_rng(4))
+        train_steps(model, method, 20)
+        trace = method.sparsity_trace
+        assert trace[0] == 0.0
+        assert trace[-1] > 0.85
+
+    def test_admm_penalty_modifies_gradients(self):
+        model = make_model(seed=5)
+        method = ADMMPruner(sparsity=0.8, total_iterations=100, admm_fraction=0.9,
+                            rho=10.0, rng=np.random.default_rng(5))
+        optimizer = SGD(model.parameters(), lr=0.05)
+        method.bind(model, optimizer)
+        rng = np.random.default_rng(6)
+        x = Tensor(rng.standard_normal((4, 20)).astype(np.float32))
+        y = rng.integers(0, 3, 4)
+        loss = cross_entropy(model(x), y)
+        optimizer.zero_grad()
+        loss.backward()
+        name = next(iter(method.masks.masks))
+        parameter = method.masks.parameters[name]
+        before = parameter.grad.copy()
+        method.after_backward(1)
+        assert not np.allclose(before, parameter.grad)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ADMMPruner(sparsity=0.0)
+        with pytest.raises(ValueError):
+            ADMMPruner(admm_fraction=1.0)
+
+
+def train_steps_continue(model, method, start, stop, seed=7):
+    rng = np.random.default_rng(seed)
+    optimizer = method.optimizer
+    for iteration in range(start, stop):
+        x = Tensor(rng.standard_normal((6, 20)).astype(np.float32))
+        y = rng.integers(0, 3, 6)
+        loss = cross_entropy(model(x), y)
+        optimizer.zero_grad()
+        loss.backward()
+        method.after_backward(iteration)
+        optimizer.step()
+        method.after_step(iteration)

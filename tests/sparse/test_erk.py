@@ -1,0 +1,111 @@
+"""ERK sparsity distribution (paper §III-C step 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse import (
+    build_distribution,
+    erk_densities,
+    erk_sparsities,
+    global_density,
+    uniform_densities,
+)
+
+SHAPES = {
+    "conv1": (16, 3, 3, 3),
+    "conv2": (32, 16, 3, 3),
+    "conv3": (64, 32, 3, 3),
+    "fc": (10, 64),
+}
+
+
+class TestERK:
+    def test_global_density_conserved(self):
+        for density in (0.05, 0.1, 0.2, 0.5):
+            densities = erk_densities(SHAPES, density)
+            assert np.isclose(global_density(SHAPES, densities), density, atol=1e-6)
+
+    def test_small_layers_are_denser(self):
+        densities = erk_densities(SHAPES, 0.1)
+        # The thin first conv and the small FC keep more of their weights
+        # than the fat middle convolutions.
+        assert densities["conv1"] > densities["conv3"]
+        assert densities["fc"] > densities["conv3"]
+
+    def test_capping_at_one(self):
+        # A very skewed network forces the tiny layer to full density.
+        shapes = {"tiny": (2, 2), "huge": (512, 512, 3, 3)}
+        densities = erk_densities(shapes, 0.5)
+        assert densities["tiny"] == 1.0
+        assert densities["huge"] < 1.0
+        assert np.isclose(global_density(shapes, densities), 0.5, atol=1e-6)
+
+    def test_density_one_trivial(self):
+        densities = erk_densities(SHAPES, 1.0)
+        assert all(d == 1.0 for d in densities.values())
+
+    def test_power_scale_zero_is_uniformish(self):
+        densities = erk_densities(SHAPES, 0.3, power_scale=0.0)
+        values = list(densities.values())
+        assert np.allclose(values, values[0], atol=1e-6)
+
+    def test_invalid_density(self):
+        with pytest.raises(ValueError):
+            erk_densities(SHAPES, 0.0)
+        with pytest.raises(ValueError):
+            erk_densities(SHAPES, 1.5)
+
+    def test_empty_shapes(self):
+        with pytest.raises(ValueError):
+            erk_densities({}, 0.5)
+
+    def test_erk_sparsities_wrapper(self):
+        sparsities = erk_sparsities(SHAPES, 0.9)
+        densities = erk_densities(SHAPES, 0.1)
+        for name in SHAPES:
+            assert np.isclose(sparsities[name], 1.0 - densities[name])
+
+
+class TestUniform:
+    def test_uniform(self):
+        densities = uniform_densities(SHAPES, 0.25)
+        assert all(d == 0.25 for d in densities.values())
+
+    def test_factory(self):
+        assert build_distribution("erk", SHAPES, 0.2) == erk_densities(SHAPES, 0.2)
+        assert build_distribution("uniform", SHAPES, 0.2) == uniform_densities(SHAPES, 0.2)
+        with pytest.raises(ValueError):
+            build_distribution("lognormal", SHAPES, 0.2)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    density=st.floats(min_value=0.01, max_value=0.99),
+    scale=st.integers(min_value=1, max_value=8),
+)
+def test_erk_properties(density, scale):
+    """Conservation and bounds hold for arbitrary densities/architectures."""
+    shapes = {
+        "a": (4 * scale, 3, 3, 3),
+        "b": (8 * scale, 4 * scale, 3, 3),
+        "c": (10, 8 * scale),
+    }
+    densities = erk_densities(shapes, density)
+    assert all(0.0 < d <= 1.0 for d in densities.values())
+    assert np.isclose(global_density(shapes, densities), density, atol=1e-6)
+
+
+@settings(max_examples=20, deadline=None)
+@given(density=st.floats(min_value=0.01, max_value=0.5))
+def test_erk_ordering_is_density_independent(density):
+    """Relative layer ordering under ERK does not depend on the level."""
+    low = erk_densities(SHAPES, density)
+    high = erk_densities(SHAPES, min(0.99, density * 1.5))
+    names = sorted(SHAPES)
+    order_low = sorted(names, key=lambda n: low[n])
+    order_high = sorted(names, key=lambda n: high[n])
+    # Orders agree except where capping at 1.0 collapses distinctions.
+    uncapped = [n for n in names if low[n] < 1.0 and high[n] < 1.0]
+    assert [n for n in order_low if n in uncapped] == [n for n in order_high if n in uncapped]

@@ -1,0 +1,108 @@
+"""CSR-backed sparse inference: bit-identical to the dense masked model."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Conv2d, Linear
+from repro.optim import SGD
+from repro.snn.models import SpikingConvNet
+from repro.sparse import (
+    CSRConv2d,
+    CSRLinear,
+    NDSNN,
+    compress_model,
+    compressed_storage_bits,
+    compression_report,
+)
+from repro.tensor import Tensor, cross_entropy, no_grad
+
+
+def sparse_trained_model(seed=0):
+    model = SpikingConvNet(
+        num_classes=5, in_channels=2, image_size=8, channels=(8, 8),
+        timesteps=2, rng=np.random.default_rng(seed),
+    )
+    method = NDSNN(initial_sparsity=0.5, final_sparsity=0.8,
+                   total_iterations=12, update_frequency=4,
+                   rng=np.random.default_rng(seed + 1))
+    optimizer = SGD(model.parameters(), lr=0.05, momentum=0.9)
+    method.bind(model, optimizer)
+    rng = np.random.default_rng(seed + 2)
+    for iteration in range(12):
+        x = Tensor(rng.standard_normal((4, 2, 8, 8)).astype(np.float32))
+        y = rng.integers(0, 5, 4)
+        loss = cross_entropy(model(x), y)
+        optimizer.zero_grad()
+        loss.backward()
+        method.after_backward(iteration)
+        optimizer.step()
+        method.after_step(iteration)
+    return model, method
+
+
+class TestCSRLayers:
+    def test_csr_linear_matches_dense(self):
+        layer = Linear(10, 6, rng=np.random.default_rng(0))
+        layer.weight.data *= (np.random.default_rng(1).random((6, 10)) < 0.4)
+        csr = CSRLinear.from_layer(layer)
+        x = Tensor(np.random.default_rng(2).standard_normal((3, 10)).astype(np.float32))
+        assert np.allclose(csr(x).data, layer(x).data, atol=1e-5)
+
+    def test_csr_conv_matches_dense(self):
+        layer = Conv2d(3, 5, 3, stride=2, padding=1, rng=np.random.default_rng(3))
+        layer.weight.data *= (np.random.default_rng(4).random(layer.weight.shape) < 0.3)
+        csr = CSRConv2d.from_layer(layer)
+        x = Tensor(np.random.default_rng(5).standard_normal((2, 3, 8, 8)).astype(np.float32))
+        assert np.allclose(csr(x).data, layer(x).data, atol=1e-4)
+
+    def test_csr_conv_channel_check(self):
+        layer = Conv2d(3, 5, 3, rng=np.random.default_rng(6))
+        csr = CSRConv2d.from_layer(layer)
+        with pytest.raises(ValueError):
+            csr(Tensor(np.zeros((1, 2, 8, 8), dtype=np.float32)))
+
+    def test_no_bias_layers(self):
+        layer = Linear(4, 3, bias=False, rng=np.random.default_rng(7))
+        csr = CSRLinear.from_layer(layer)
+        x = Tensor(np.random.default_rng(8).standard_normal((2, 4)).astype(np.float32))
+        assert np.allclose(csr(x).data, layer(x).data, atol=1e-5)
+
+
+class TestCompressModel:
+    def test_outputs_identical_after_compression(self):
+        model, _ = sparse_trained_model()
+        x = Tensor(np.random.default_rng(9).standard_normal((3, 2, 8, 8)).astype(np.float32))
+        model.eval()
+        with no_grad():
+            dense_out = model(x).data.copy()
+        compress_model(model)
+        with no_grad():
+            sparse_out = model(x).data
+        assert np.allclose(dense_out, sparse_out, atol=1e-4)
+
+    def test_all_weight_layers_replaced(self):
+        model, _ = sparse_trained_model(seed=1)
+        compress_model(model)
+        remaining = [
+            m for m in model.modules() if isinstance(m, (Linear, Conv2d))
+        ]
+        assert remaining == []
+
+    def test_report_density_matches_training_sparsity(self):
+        model, method = sparse_trained_model(seed=2)
+        sparsity = method.sparsity()
+        compress_model(model)
+        report = compression_report(model)
+        assert report["num_compressed_layers"] == 3  # 2 convs + classifier
+        assert abs((1.0 - report["density"]) - sparsity) < 1e-6
+        assert report["storage_bits"] == compressed_storage_bits(model)
+
+    def test_storage_shrinks_with_sparsity(self):
+        dense_model, _ = sparse_trained_model(seed=3)
+        bits_sparse = compression_report(compress_model(dense_model))["storage_bits"]
+
+        fresh = SpikingConvNet(num_classes=5, in_channels=2, image_size=8,
+                               channels=(8, 8), timesteps=2,
+                               rng=np.random.default_rng(3))
+        bits_dense = compression_report(compress_model(fresh))["storage_bits"]
+        assert bits_sparse < bits_dense

@@ -1,0 +1,117 @@
+"""Contract tests: invariants every sparse-training method must honour.
+
+Parametrized over the whole method zoo so new methods inherit the same
+obligations: masked weights stay zero, gradients are masked, reported
+sparsity is consistent with the actual masks, and methods work with
+both SGD and Adam.
+"""
+
+import numpy as np
+import pytest
+
+from repro.optim import SGD, Adam
+from repro.snn.models import SpikingMLP
+from repro.sparse import (
+    ADMMPruner,
+    DenseMethod,
+    GMPSNN,
+    NDSNN,
+    RigLSNN,
+    SETSNN,
+    SNIPSNN,
+    StaticMaskMethod,
+    StructuredFilterPruning,
+)
+from repro.tensor import Tensor, cross_entropy
+
+ITERATIONS = 24
+UPDATE_FREQ = 6
+
+
+def method_factories():
+    return [
+        ("dense", lambda rng: DenseMethod()),
+        ("static", lambda rng: StaticMaskMethod(densities=None, rng=rng)),
+        ("ndsnn", lambda rng: NDSNN(initial_sparsity=0.4, final_sparsity=0.8,
+                                    total_iterations=ITERATIONS,
+                                    update_frequency=UPDATE_FREQ, rng=rng)),
+        ("set", lambda rng: SETSNN(sparsity=0.7, total_iterations=ITERATIONS,
+                                   update_frequency=UPDATE_FREQ, rng=rng)),
+        ("rigl", lambda rng: RigLSNN(sparsity=0.7, total_iterations=ITERATIONS,
+                                     update_frequency=UPDATE_FREQ, rng=rng)),
+        ("gmp", lambda rng: GMPSNN(final_sparsity=0.8, total_iterations=ITERATIONS,
+                                   update_frequency=UPDATE_FREQ, rng=rng)),
+        ("snip", lambda rng: SNIPSNN(sparsity=0.7, rng=rng)),
+        ("admm", lambda rng: ADMMPruner(sparsity=0.7, total_iterations=ITERATIONS,
+                                        admm_fraction=0.5,
+                                        update_frequency=UPDATE_FREQ, rng=rng)),
+        ("structured", lambda rng: StructuredFilterPruning(
+            final_sparsity=0.5, total_iterations=ITERATIONS,
+            update_frequency=UPDATE_FREQ, rng=rng)),
+    ]
+
+
+def train(method, optimizer_cls=SGD, seed=0, iterations=ITERATIONS):
+    model = SpikingMLP(in_features=16, num_classes=4, hidden=(24,), timesteps=2,
+                       rng=np.random.default_rng(seed))
+    if optimizer_cls is SGD:
+        optimizer = SGD(model.parameters(), lr=0.05, momentum=0.9)
+    else:
+        optimizer = Adam(model.parameters(), lr=1e-3)
+    method.bind(model, optimizer)
+    rng = np.random.default_rng(seed + 1)
+    for iteration in range(iterations):
+        x = Tensor(rng.standard_normal((8, 16)).astype(np.float32))
+        y = rng.integers(0, 4, 8)
+        loss = cross_entropy(model(x), y)
+        optimizer.zero_grad()
+        loss.backward()
+        method.after_backward(iteration)
+        optimizer.step()
+        method.after_step(iteration)
+    return model, method
+
+
+@pytest.mark.parametrize("name,factory", method_factories())
+class TestMethodContracts:
+    def test_masked_weights_are_zero_after_training(self, name, factory):
+        _, method = train(factory(np.random.default_rng(0)))
+        if method.masks is None:
+            return
+        for layer_name, parameter in method.masks.parameters.items():
+            inactive = method.masks.masks[layer_name] == 0
+            assert np.all(parameter.data[inactive] == 0.0), (
+                f"{name}: masked weights drifted in {layer_name}"
+            )
+
+    def test_reported_sparsity_matches_masks(self, name, factory):
+        _, method = train(factory(np.random.default_rng(1)), seed=1)
+        reported = method.sparsity()
+        assert 0.0 <= reported < 1.0
+        if method.masks is not None and reported > 0.0:
+            actual = method.masks.sparsity()
+            assert abs(reported - actual) < 1e-9
+
+    def test_density_is_complement(self, name, factory):
+        _, method = train(factory(np.random.default_rng(2)), seed=2)
+        assert np.isclose(method.sparsity() + method.density(), 1.0)
+
+    def test_works_with_adam(self, name, factory):
+        _, method = train(factory(np.random.default_rng(3)), optimizer_cls=Adam, seed=3)
+        assert 0.0 <= method.sparsity() < 1.0
+
+    def test_loss_is_finite_throughout(self, name, factory):
+        model, method = train(factory(np.random.default_rng(4)), seed=4)
+        rng = np.random.default_rng(5)
+        x = Tensor(rng.standard_normal((4, 16)).astype(np.float32))
+        loss = cross_entropy(model(x), rng.integers(0, 4, 4))
+        assert np.isfinite(float(loss.data))
+
+    def test_distribution_covers_all_masked_layers(self, name, factory):
+        _, method = train(factory(np.random.default_rng(6)), seed=6)
+        distribution = method.sparsity_distribution()
+        if method.masks is None:
+            assert distribution == {}
+        else:
+            assert set(distribution) == set(method.masks.masks)
+            assert all(0.0 <= value <= 1.0 for value in distribution.values())

@@ -1,0 +1,102 @@
+"""Property-based tests of the autograd engine (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.tensor import Tensor, no_grad
+
+finite_floats = st.floats(
+    min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False, width=32
+)
+
+
+def small_arrays(max_dims=3, max_side=4):
+    return arrays(
+        dtype=np.float32,
+        shape=array_shapes(min_dims=1, max_dims=max_dims, min_side=1, max_side=max_side),
+        elements=finite_floats,
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_sum_gradient_is_ones(data):
+    t = Tensor(data, requires_grad=True)
+    t.sum().backward()
+    assert np.allclose(t.grad, np.ones_like(data))
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays(), st.floats(min_value=-5, max_value=5, allow_nan=False, width=32))
+def test_scalar_mul_gradient(data, scalar):
+    t = Tensor(data, requires_grad=True)
+    (t * scalar).sum().backward()
+    assert np.allclose(t.grad, np.full_like(data, scalar), atol=1e-5)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_linearity_of_backward(data):
+    """grad of (f + g) equals grad f + grad g for f = 2x, g = 3x."""
+    t1 = Tensor(data, requires_grad=True)
+    ((t1 * 2) + (t1 * 3)).sum().backward()
+    assert np.allclose(t1.grad, np.full_like(data, 5.0), atol=1e-5)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_relu_gradient_is_indicator(data):
+    t = Tensor(data, requires_grad=True)
+    t.relu().sum().backward()
+    assert np.allclose(t.grad, (data > 0).astype(np.float32))
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_reshape_preserves_gradient_sum(data):
+    t = Tensor(data, requires_grad=True)
+    (t.reshape(-1) ** 2).sum().backward()
+    assert np.allclose(t.grad, 2 * data, atol=1e-4)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    arrays(np.float32, (3, 4), elements=finite_floats),
+    arrays(np.float32, (4,), elements=finite_floats),
+)
+def test_broadcast_add_gradient_shapes(a, b):
+    ta = Tensor(a, requires_grad=True)
+    tb = Tensor(b, requires_grad=True)
+    (ta + tb).sum().backward()
+    assert ta.grad.shape == a.shape
+    assert tb.grad.shape == b.shape
+    # Broadcast axis gradient sums over the expanded dimension.
+    assert np.allclose(tb.grad, np.full_like(b, 3.0))
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays())
+def test_no_grad_blocks_tape(data):
+    t = Tensor(data, requires_grad=True)
+    with no_grad():
+        out = (t * 2).sum()
+    assert not out.requires_grad
+    assert out._prev == ()
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays())
+def test_detach_then_op_has_no_gradient(data):
+    t = Tensor(data, requires_grad=True)
+    out = (t.detach() * 2).sum()
+    assert not out.requires_grad
+
+
+@settings(max_examples=30, deadline=None)
+@given(arrays(np.float32, (2, 3), elements=finite_floats))
+def test_transpose_twice_gradient_identity(data):
+    t = Tensor(data, requires_grad=True)
+    (t.T.T * 1.0).sum().backward()
+    assert np.allclose(t.grad, np.ones_like(data))

@@ -1,0 +1,100 @@
+"""Loss functions and classification helpers."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import (
+    Tensor,
+    accuracy,
+    check_gradients,
+    cross_entropy,
+    log_softmax,
+    mse_loss,
+    nll_loss,
+    one_hot,
+    softmax,
+)
+
+
+class TestSoftmax:
+    def test_softmax_sums_to_one(self):
+        rng = np.random.default_rng(0)
+        logits = Tensor(rng.standard_normal((4, 7)).astype(np.float32))
+        probs = softmax(logits)
+        assert np.allclose(probs.data.sum(axis=1), 1.0, atol=1e-5)
+
+    def test_log_softmax_stability_with_large_logits(self):
+        logits = Tensor(np.array([[1000.0, 1001.0]], dtype=np.float32))
+        out = log_softmax(logits)
+        assert np.all(np.isfinite(out.data))
+
+    def test_log_softmax_gradient(self):
+        rng = np.random.default_rng(1)
+        logits = Tensor(rng.standard_normal((3, 4)).astype(np.float32), requires_grad=True)
+        check_gradients(lambda: (log_softmax(logits) ** 2).sum(), [logits])
+
+
+class TestCrossEntropy:
+    def test_matches_manual_computation(self):
+        logits = Tensor(np.array([[2.0, 1.0, 0.1]], dtype=np.float32))
+        targets = np.array([0])
+        loss = cross_entropy(logits, targets)
+        z = logits.data[0]
+        expected = -(z[0] - np.log(np.exp(z).sum()))
+        assert np.isclose(float(loss.data), expected, atol=1e-5)
+
+    def test_gradient_is_probs_minus_onehot(self):
+        rng = np.random.default_rng(2)
+        logits = Tensor(rng.standard_normal((5, 3)).astype(np.float32), requires_grad=True)
+        targets = np.array([0, 1, 2, 1, 0])
+        loss = cross_entropy(logits, targets)
+        loss.backward()
+        probs = softmax(Tensor(logits.data)).data
+        expected = (probs - one_hot(targets, 3)) / 5
+        assert np.allclose(logits.grad, expected, atol=1e-5)
+
+    def test_gradcheck(self):
+        rng = np.random.default_rng(3)
+        logits = Tensor(rng.standard_normal((4, 5)).astype(np.float32), requires_grad=True)
+        targets = np.array([1, 0, 4, 2])
+        check_gradients(lambda: cross_entropy(logits, targets), [logits])
+
+    def test_label_smoothing_increases_loss_on_confident_model(self):
+        logits = Tensor(np.array([[10.0, -10.0]], dtype=np.float32))
+        targets = np.array([0])
+        plain = float(cross_entropy(logits, targets).data)
+        smoothed = float(cross_entropy(logits, targets, label_smoothing=0.2).data)
+        assert smoothed > plain
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros((2, 3, 4), dtype=np.float32)), np.array([0, 1]))
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros((2, 3), dtype=np.float32)), np.array([0]))
+
+
+class TestOtherLosses:
+    def test_mse(self):
+        prediction = Tensor(np.array([1.0, 2.0], dtype=np.float32), requires_grad=True)
+        target = np.array([0.0, 0.0], dtype=np.float32)
+        loss = mse_loss(prediction, Tensor(target))
+        assert np.isclose(float(loss.data), 2.5)
+        check_gradients(lambda: mse_loss(prediction, Tensor(target)), [prediction])
+
+    def test_nll(self):
+        log_probs = Tensor(np.log(np.array([[0.7, 0.3], [0.2, 0.8]], dtype=np.float32)))
+        loss = nll_loss(log_probs, np.array([0, 1]))
+        expected = -(np.log(0.7) + np.log(0.8)) / 2
+        assert np.isclose(float(loss.data), expected, atol=1e-5)
+
+
+class TestHelpers:
+    def test_accuracy(self):
+        logits = Tensor(np.array([[1.0, 2.0], [3.0, 0.0]], dtype=np.float32))
+        assert accuracy(logits, np.array([1, 0])) == 1.0
+        assert accuracy(logits, np.array([0, 0])) == 0.5
+
+    def test_one_hot(self):
+        out = one_hot(np.array([0, 2]), 3)
+        assert np.allclose(out, [[1, 0, 0], [0, 0, 1]])
+        assert out.dtype == np.float32

@@ -1,0 +1,43 @@
+"""Matmul vector/matrix edge cases (the 1-D code paths)."""
+
+import numpy as np
+
+from repro.tensor import Tensor, check_gradients
+
+
+def make(shape, seed=0):
+    return Tensor(
+        np.random.default_rng(seed).standard_normal(shape).astype(np.float32),
+        requires_grad=True,
+    )
+
+
+class TestVectorMatmul:
+    def test_vec_mat_forward(self):
+        v = Tensor(np.array([1.0, 2.0], dtype=np.float32))
+        m = Tensor(np.array([[1.0, 0.0], [0.0, 1.0]], dtype=np.float32))
+        assert np.allclose((v @ m).data, [1.0, 2.0])
+
+    def test_vec_mat_gradients(self):
+        v = make(4, seed=1)
+        m = make((4, 3), seed=2)
+        check_gradients(lambda: (v @ m).sum(), [v, m])
+
+    def test_mat_vec_gradients(self):
+        m = make((3, 4), seed=3)
+        v = make(4, seed=4)
+        check_gradients(lambda: (m @ v).sum(), [m, v])
+
+    def test_vec_vec_inner_product(self):
+        a = make(5, seed=5)
+        b = make(5, seed=6)
+        out = a @ b
+        assert out.shape == ()
+        check_gradients(lambda: a @ b, [a, b])
+
+    def test_batched_times_shared_matrix(self):
+        batch = make((2, 3, 4), seed=7)
+        shared = make((4, 2), seed=8)
+        out = batch @ shared
+        assert out.shape == (2, 3, 2)
+        check_gradients(lambda: (batch @ shared).sum(), [batch, shared])

@@ -1,0 +1,57 @@
+"""Command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_components(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "cifar10" in out
+        assert "vgg16" in out
+        assert "ndsnn" in out
+
+
+class TestMemory:
+    def test_prints_footprint(self, capsys):
+        assert main(["memory", "--model", "lenet5", "--sparsity", "0.9"]) == 0
+        out = capsys.readouterr().out
+        assert "lenet5" in out
+        assert "90%" in out
+
+
+class TestRun:
+    def test_tiny_run_writes_json(self, tmp_path, capsys):
+        out_path = tmp_path / "result.json"
+        code = main([
+            "run", "--dataset", "cifar10", "--model", "convnet",
+            "--method", "ndsnn", "--sparsity", "0.8",
+            "--epochs", "1", "--train-samples", "32", "--test-samples", "16",
+            "--timesteps", "2", "--image-size", "8",
+            "--update-frequency", "1",
+            "--out", str(out_path), "--quiet",
+        ])
+        assert code == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["method"] == "ndsnn"
+        assert 0.0 <= payload["final_accuracy"] <= 1.0
+        assert abs(payload["final_sparsity"] - 0.8) < 0.1
+        assert len(payload["history"]) == 1
+
+    def test_dense_run(self, capsys):
+        code = main([
+            "run", "--dataset", "cifar10", "--model", "convnet",
+            "--method", "dense", "--epochs", "1",
+            "--train-samples", "32", "--test-samples", "16",
+            "--timesteps", "2", "--image-size", "8", "--quiet",
+        ])
+        assert code == 0
+        assert "dense" in capsys.readouterr().out
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--method", "magic"])

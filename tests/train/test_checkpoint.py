@@ -1,0 +1,72 @@
+"""Checkpoint save/load including sparse masks."""
+
+import numpy as np
+import pytest
+
+from repro.optim import SGD
+from repro.snn.models import SpikingMLP
+from repro.sparse import NDSNN, DenseMethod
+from repro.train import load_checkpoint, save_checkpoint
+
+
+def make_model(seed=0):
+    return SpikingMLP(in_features=10, num_classes=3, hidden=(12,), timesteps=2,
+                      rng=np.random.default_rng(seed))
+
+
+class TestCheckpoint:
+    def test_weights_roundtrip(self, tmp_path):
+        model = make_model()
+        original = model.state_dict()
+        save_checkpoint(tmp_path / "ckpt", model, iteration=42, epoch=3)
+        for parameter in model.parameters():
+            parameter.data += 1.0
+        metadata = load_checkpoint(tmp_path / "ckpt", model)
+        assert metadata["iteration"] == 42
+        assert metadata["epoch"] == 3
+        for name, value in model.state_dict().items():
+            assert np.allclose(value, original[name])
+
+    def test_masks_roundtrip(self, tmp_path):
+        model = make_model(seed=1)
+        method = NDSNN(initial_sparsity=0.5, final_sparsity=0.9,
+                       total_iterations=100, update_frequency=10,
+                       rng=np.random.default_rng(1))
+        method.bind(model, SGD(model.parameters(), lr=0.1))
+        original_masks = method.masks.copy_masks()
+        save_checkpoint(tmp_path / "ckpt", model, method=method, iteration=10)
+
+        model2 = make_model(seed=2)
+        method2 = NDSNN(initial_sparsity=0.5, final_sparsity=0.9,
+                        total_iterations=100, update_frequency=10,
+                        rng=np.random.default_rng(99))
+        method2.bind(model2, SGD(model2.parameters(), lr=0.1))
+        metadata = load_checkpoint(tmp_path / "ckpt", model2, method=method2)
+        assert metadata["has_masks"]
+        for name in original_masks:
+            assert np.array_equal(method2.masks.masks[name], original_masks[name])
+
+    def test_masks_require_bound_method(self, tmp_path):
+        model = make_model(seed=3)
+        method = NDSNN(initial_sparsity=0.5, final_sparsity=0.9,
+                       total_iterations=100, update_frequency=10,
+                       rng=np.random.default_rng(3))
+        method.bind(model, SGD(model.parameters(), lr=0.1))
+        save_checkpoint(tmp_path / "ckpt", model, method=method)
+        fresh = NDSNN(initial_sparsity=0.5, final_sparsity=0.9)
+        with pytest.raises(ValueError):
+            load_checkpoint(tmp_path / "ckpt", make_model(seed=3), method=fresh)
+
+    def test_dense_checkpoint_has_no_masks(self, tmp_path):
+        model = make_model(seed=4)
+        method = DenseMethod()
+        method.bind(model, SGD(model.parameters(), lr=0.1))
+        save_checkpoint(tmp_path / "ckpt", model, method=method)
+        metadata = load_checkpoint(tmp_path / "ckpt", model)
+        assert not metadata["has_masks"]
+
+    def test_extra_metadata(self, tmp_path):
+        model = make_model(seed=5)
+        save_checkpoint(tmp_path / "ckpt", model, extra={"lr": 0.1, "note": "hello"})
+        metadata = load_checkpoint(tmp_path / "ckpt", model)
+        assert metadata["extra"]["note"] == "hello"

@@ -1,0 +1,88 @@
+"""Memory-footprint model (paper §III-D)."""
+
+import numpy as np
+import pytest
+
+from repro.snn.models import SpikingMLP
+from repro.train import (
+    PLATFORM_WEIGHT_BITS,
+    average_training_footprint_bits,
+    dense_training_footprint_bits,
+    inference_footprint_bits,
+    model_footprint,
+    training_footprint_bits,
+)
+
+
+class TestTrainingFootprint:
+    def test_matches_paper_formula(self):
+        n, theta, t, bw, bidx = 1000, 0.9, 5, 32, 32
+        expected = (1 - theta) * ((1 + t) * n * bw + n * bidx)
+        assert training_footprint_bits(n, theta, t, bw, bidx) == pytest.approx(expected)
+
+    def test_exact_adds_row_pointers(self):
+        approx = training_footprint_bits(1000, 0.9, 5)
+        exact = training_footprint_bits(1000, 0.9, 5, filters_per_layer=[16, 32])
+        assert exact == approx + (17 + 33) * 32
+
+    def test_higher_sparsity_means_lower_memory(self):
+        low = training_footprint_bits(1000, 0.5, 5)
+        high = training_footprint_bits(1000, 0.95, 5)
+        assert high < low
+
+    def test_more_timesteps_more_memory(self):
+        t2 = training_footprint_bits(1000, 0.9, 2)
+        t5 = training_footprint_bits(1000, 0.9, 5)
+        assert t5 > t2
+
+    def test_full_sparsity_costs_nothing(self):
+        assert training_footprint_bits(1000, 1.0, 5) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            training_footprint_bits(100, 1.5, 5)
+        with pytest.raises(ValueError):
+            training_footprint_bits(-1, 0.5, 5)
+
+    def test_dense_reference(self):
+        assert dense_training_footprint_bits(1000, 5) == 6 * 1000 * 32
+
+    def test_sparse_beats_dense_above_breakeven(self):
+        """With fp32 weights and 32-bit indices, sparse training wins once
+        density < (1+t)/(2+t); at t=5 that is ~86% density."""
+        n, t = 10_000, 5
+        dense = dense_training_footprint_bits(n, t)
+        assert training_footprint_bits(n, 0.5, t) < dense
+        assert training_footprint_bits(n, 0.0, t) > dense  # indices overhead
+
+
+class TestInferenceFootprint:
+    def test_platform_presets(self):
+        assert PLATFORM_WEIGHT_BITS["loihi"] == 8
+        assert PLATFORM_WEIGHT_BITS["hicann"] == 4
+        loihi = inference_footprint_bits(1000, 0.9, platform="loihi")
+        hicann = inference_footprint_bits(1000, 0.9, platform="hicann")
+        assert hicann < loihi
+
+    def test_unknown_platform(self):
+        with pytest.raises(ValueError):
+            inference_footprint_bits(100, 0.5, platform="tpu")
+
+
+class TestModelFootprint:
+    def test_uses_model_weight_counts(self):
+        model = SpikingMLP(in_features=10, num_classes=5, hidden=(8,), rng=np.random.default_rng(0))
+        report = model_footprint(model, sparsity=0.9, timesteps=5)
+        assert report.total_weights == 10 * 8 + 8 * 5
+        assert report.bits > 0
+        assert report.megabytes == report.bytes / 1024 ** 2
+
+    def test_average_over_trace(self):
+        flat = average_training_footprint_bits(1000, [0.9, 0.9], 5)
+        ramp = average_training_footprint_bits(1000, [0.5, 0.9], 5)
+        dense_then_prune = average_training_footprint_bits(1000, [0.0, 0.9], 5)
+        assert flat < ramp < dense_then_prune
+
+    def test_empty_trace_raises(self):
+        with pytest.raises(ValueError):
+            average_training_footprint_bits(1000, [], 5)

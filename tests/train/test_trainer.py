@@ -1,0 +1,118 @@
+"""Trainer integration: learning happens, masks hold, history records."""
+
+import numpy as np
+import pytest
+
+from repro.data import ArrayDataset, DataLoader
+from repro.optim import SGD, CosineAnnealingLR
+from repro.snn.models import SpikingConvNet, SpikingMLP
+from repro.sparse import DenseMethod, NDSNN, SETSNN
+from repro.train import Trainer
+
+
+def easy_task(n=64, features=12, classes=3, proto_seed=0, noise_seed=1):
+    """Linearly separable spiking task: shared class means + small noise.
+
+    ``proto_seed`` fixes the class structure; ``noise_seed`` picks the
+    split, so train/test share means but not samples.
+    """
+    means = np.random.default_rng(proto_seed).standard_normal((classes, features)).astype(np.float32) * 2.0
+    rng = np.random.default_rng(noise_seed)
+    labels = np.arange(n) % classes
+    images = means[labels] + rng.standard_normal((n, features)).astype(np.float32) * 0.3
+    return ArrayDataset(images.astype(np.float32), labels)
+
+
+def build(method, seed=0, epochs_iterations=None, lr=0.1):
+    train_set = easy_task(proto_seed=seed, noise_seed=seed + 1)
+    test_set = easy_task(proto_seed=seed, noise_seed=seed + 100)
+    train_loader = DataLoader(train_set, batch_size=16, shuffle=True, rng=np.random.default_rng(1))
+    test_loader = DataLoader(test_set, batch_size=16, shuffle=False)
+    model = SpikingMLP(in_features=12, num_classes=3, hidden=(24,), timesteps=3,
+                       rng=np.random.default_rng(seed))
+    optimizer = SGD(model.parameters(), lr=lr, momentum=0.9)
+    trainer = Trainer(model, method, optimizer, train_loader, test_loader=test_loader)
+    return trainer, model
+
+
+class TestLearning:
+    def test_dense_training_learns(self):
+        trainer, _ = build(DenseMethod())
+        result = trainer.fit(8)
+        assert result.history[-1].train_loss < result.history[0].train_loss
+        assert result.final_accuracy > 0.6
+
+    def test_sparse_training_learns(self):
+        method = NDSNN(initial_sparsity=0.3, final_sparsity=0.7,
+                       total_iterations=32, update_frequency=8,
+                       rng=np.random.default_rng(2))
+        trainer, _ = build(method)
+        result = trainer.fit(8)
+        assert result.final_accuracy > 0.5
+        assert abs(method.sparsity() - 0.7) < 0.05
+
+    def test_loss_decreases_with_set(self):
+        method = SETSNN(sparsity=0.5, total_iterations=32, update_frequency=8,
+                        rng=np.random.default_rng(3))
+        trainer, _ = build(method)
+        result = trainer.fit(8)
+        assert result.history[-1].train_loss < result.history[0].train_loss
+
+
+class TestHistory:
+    def test_epoch_stats_recorded(self):
+        trainer, _ = build(DenseMethod())
+        result = trainer.fit(3)
+        assert len(result.history) == 3
+        stats = result.history[0]
+        assert stats.epoch == 0
+        assert stats.spike_rate > 0.0
+        assert stats.density == 1.0
+        assert set(stats.as_dict()) >= {"train_loss", "test_accuracy", "sparsity"}
+
+    def test_result_properties(self):
+        trainer, _ = build(DenseMethod())
+        result = trainer.fit(2)
+        assert len(result.spike_rates) == 2
+        assert len(result.densities) == 2
+        assert result.best_accuracy >= result.history[0].test_accuracy - 1e-9
+
+    def test_scheduler_steps_per_epoch(self):
+        method = DenseMethod()
+        trainer, _ = build(method, lr=1.0)
+        trainer.scheduler = CosineAnnealingLR(trainer.optimizer, t_max=4)
+        trainer.fit(4)
+        assert trainer.optimizer.lr < 1.0
+
+    def test_empty_result(self):
+        trainer, _ = build(DenseMethod())
+        result = trainer.fit(0)
+        assert result.final_accuracy == 0.0
+        assert result.best_accuracy == 0.0
+
+
+class TestMaskIntegrity:
+    def test_masks_hold_through_momentum_updates(self):
+        method = NDSNN(initial_sparsity=0.5, final_sparsity=0.8,
+                       total_iterations=24, update_frequency=8,
+                       rng=np.random.default_rng(4))
+        trainer, model = build(method)
+        trainer.fit(6)
+        for name, parameter in method.masks.parameters.items():
+            inactive = method.masks.masks[name] == 0
+            assert np.all(parameter.data[inactive] == 0.0)
+
+    def test_grad_clipping(self):
+        method = DenseMethod()
+        trainer, model = build(method)
+        trainer.grad_clip = 1e-6
+        before = {n: p.data.copy() for n, p in model.named_parameters()}
+        trainer.fit(1)
+        # With near-zero clipped grads weights barely move.
+        for name, parameter in model.named_parameters():
+            assert np.allclose(parameter.data, before[name], atol=1e-2)
+
+    def test_iteration_counter_advances(self):
+        trainer, _ = build(DenseMethod())
+        trainer.fit(2)
+        assert trainer.iteration == 2 * 4  # 64 samples / batch 16 = 4 iters

@@ -1,9 +1,24 @@
 """Micro-benchmarks of the compute kernels (supplementary).
 
-These are classic pytest-benchmark timings (many rounds) of the
-operations that dominate NDSNN training: convolution forward/backward,
-the LIF temporal loop, mask enforcement and a drop-and-grow round.
+Two modes:
+
+* pytest-benchmark timings (many rounds) of the operations that
+  dominate NDSNN training: convolution forward/backward, the LIF
+  temporal loop, mask enforcement and a drop-and-grow round;
+* a dense-vs-CSR comparison mode emitting ``BENCH_kernels.json``::
+
+      PYTHONPATH=src python benchmarks/bench_kernels.py --out BENCH_kernels.json
+
+  For each (shape, sparsity) cell it times the dense masked matmul
+  ``(W*mask) @ X`` against the CSR fast path, both kernel-only (pattern
+  and values resident, the inference/steady-state case) and including
+  the per-step value refresh (the training case), plus the transposed
+  product used by the input gradient.
 """
+
+import argparse
+import json
+import time
 
 import numpy as np
 import pytest
@@ -11,7 +26,7 @@ import pytest
 from repro.optim import SGD
 from repro.snn import LIFNeuron, reset_net
 from repro.snn.models import SpikingConvNet
-from repro.sparse import NDSNN, MaskManager
+from repro.sparse import NDSNN, CSRPattern, MaskManager
 from repro.tensor import Tensor, conv2d, cross_entropy
 
 
@@ -94,3 +109,110 @@ def test_spiking_forward_pass(benchmark):
     )
     x = Tensor(np.random.default_rng(8).standard_normal((8, 3, 16, 16)).astype(np.float32))
     benchmark(lambda: model(x))
+
+
+# ----------------------------------------------------------------------
+# Dense-vs-CSR comparison mode
+# ----------------------------------------------------------------------
+
+COMPARISON_SHAPES = ((512, 512, 16), (1024, 1024, 16))
+COMPARISON_SPARSITIES = (0.5, 0.9, 0.99)
+
+
+def _time(fn, repeats):
+    fn()  # warm-up (touches caches, triggers lazy allocations)
+    start = time.perf_counter()
+    for _ in range(repeats):
+        fn()
+    return (time.perf_counter() - start) / repeats
+
+
+def compare_masked_matmul(rows, cols, batch, sparsity, repeats=50, seed=0):
+    """One comparison cell: dense masked matmul vs the CSR fast path."""
+    rng = np.random.default_rng(seed)
+    weight = rng.standard_normal((rows, cols)).astype(np.float32)
+    keep = max(1, int(round((1.0 - sparsity) * rows * cols)))
+    mask = np.zeros(rows * cols, dtype=np.float32)
+    mask[rng.choice(rows * cols, size=keep, replace=False)] = 1.0
+    mask = mask.reshape(rows, cols)
+    weight *= mask  # trainer invariant: masked weights are exactly zero
+    x = rng.standard_normal((cols, batch)).astype(np.float32)
+    grad = rng.standard_normal((rows, batch)).astype(np.float32)
+
+    pattern = CSRPattern.from_mask(mask)
+    data = pattern.gather(weight)
+
+    dense_s = _time(lambda: (weight * mask) @ x, repeats)
+    csr_kernel_s = _time(lambda: pattern.matmul(data, x), repeats)
+    csr_refresh_s = _time(lambda: pattern.matmul(pattern.gather(weight), x), repeats)
+    dense_t_s = _time(lambda: (weight * mask).T @ grad, repeats)
+    csr_t_s = _time(lambda: pattern.t_matmul(data, grad), repeats)
+
+    # Correctness guard: a fast wrong kernel is not a fast kernel.
+    reference = (weight * mask) @ x
+    max_err = float(np.abs(pattern.matmul(data, x) - reference).max())
+    tolerance = 1e-4 * max(1.0, float(np.abs(reference).max()))
+    if max_err > tolerance:
+        raise AssertionError(
+            f"CSR kernel diverges from dense reference: max abs error "
+            f"{max_err:.3e} > {tolerance:.3e} at sparsity {sparsity}"
+        )
+    return {
+        "rows": rows,
+        "cols": cols,
+        "batch": batch,
+        "sparsity": sparsity,
+        "dense_us": dense_s * 1e6,
+        "csr_kernel_us": csr_kernel_s * 1e6,
+        "csr_with_refresh_us": csr_refresh_s * 1e6,
+        "dense_t_us": dense_t_s * 1e6,
+        "csr_t_us": csr_t_s * 1e6,
+        "speedup_kernel": dense_s / csr_kernel_s,
+        "speedup_with_refresh": dense_s / csr_refresh_s,
+        "speedup_transposed": dense_t_s / csr_t_s,
+        "max_abs_error": max_err,
+    }
+
+
+def run_comparison(repeats=50):
+    """Full dense-vs-CSR grid; returns the BENCH_kernels payload."""
+    cells = []
+    for rows, cols, batch in COMPARISON_SHAPES:
+        for sparsity in COMPARISON_SPARSITIES:
+            cells.append(
+                compare_masked_matmul(rows, cols, batch, sparsity, repeats=repeats)
+            )
+    at_90 = [c for c in cells if c["sparsity"] == 0.9]
+    return {
+        "bench": "dense_masked_matmul_vs_csr",
+        "repeats": repeats,
+        "cells": cells,
+        "best_speedup_at_90": max(c["speedup_kernel"] for c in at_90),
+        "best_speedup_with_refresh_at_90": max(
+            c["speedup_with_refresh"] for c in at_90
+        ),
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description="dense-vs-CSR kernel comparison")
+    parser.add_argument("--out", default="BENCH_kernels.json")
+    parser.add_argument("--repeats", type=int, default=50)
+    args = parser.parse_args(argv)
+    payload = run_comparison(repeats=args.repeats)
+    for cell in payload["cells"]:
+        print(
+            f"{cell['rows']}x{cell['cols']} b={cell['batch']} "
+            f"sparsity={cell['sparsity']:.2f}: dense {cell['dense_us']:8.1f}us  "
+            f"csr {cell['csr_kernel_us']:8.1f}us ({cell['speedup_kernel']:.2f}x, "
+            f"{cell['speedup_with_refresh']:.2f}x with refresh)"
+        )
+    print(f"best speedup at 90% sparsity: {payload['best_speedup_at_90']:.2f}x")
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2)
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,6 +7,11 @@ Run one cell of Table I and save the result::
     python -m repro run --dataset cifar10 --model vgg16 --method ndsnn \
         --sparsity 0.95 --epochs 10 --out result.json
 
+Sweep several methods across worker processes::
+
+    python -m repro sweep --method ndsnn --method set --method rigl \
+        --jobs 4 --epochs 2 --out sweep.json
+
 List the available models/methods/datasets::
 
     python -m repro list
@@ -23,9 +28,10 @@ import sys
 from typing import List, Optional
 
 from .data import DATASET_SPECS
-from .experiments import run_method, scaled_config
+from .experiments import run_method, run_sweep, scaled_config, sweep_configs
 from .experiments.tables import format_table
 from .snn.models import MODEL_REGISTRY, build_model
+from .sparse.engine import EXECUTION_MODES
 from .train import model_footprint
 from .utils import save_json
 
@@ -39,24 +45,45 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
+    def add_workload_arguments(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument("--dataset", default="cifar10", choices=sorted(DATASET_SPECS))
+        parser.add_argument("--model", default="vgg16", choices=sorted(MODEL_REGISTRY))
+        parser.add_argument("--sparsity", type=float, default=0.9)
+        parser.add_argument("--initial-sparsity", type=float, default=0.6)
+        parser.add_argument("--epochs", type=int, default=10)
+        parser.add_argument("--timesteps", type=int, default=2)
+        parser.add_argument("--batch-size", type=int, default=16)
+        parser.add_argument("--lr", type=float, default=0.1)
+        parser.add_argument("--width-mult", type=float, default=0.125)
+        parser.add_argument("--image-size", type=int, default=16)
+        parser.add_argument("--train-samples", type=int, default=224)
+        parser.add_argument("--test-samples", type=int, default=64)
+        parser.add_argument("--update-frequency", type=int, default=8)
+        parser.add_argument("--seed", type=int, default=0)
+        parser.add_argument(
+            "--execution", default="dense", choices=EXECUTION_MODES,
+            help="masked-layer kernels: dense, auto (CSR below the "
+                 "density threshold) or csr",
+        )
+        parser.add_argument("--out", default=None, help="write the outcome as JSON")
+
     run = commands.add_parser("run", help="train one method on one workload")
-    run.add_argument("--dataset", default="cifar10", choices=sorted(DATASET_SPECS))
-    run.add_argument("--model", default="vgg16", choices=sorted(MODEL_REGISTRY))
+    add_workload_arguments(run)
     run.add_argument("--method", default="ndsnn", choices=METHOD_CHOICES)
-    run.add_argument("--sparsity", type=float, default=0.9)
-    run.add_argument("--initial-sparsity", type=float, default=0.6)
-    run.add_argument("--epochs", type=int, default=10)
-    run.add_argument("--timesteps", type=int, default=2)
-    run.add_argument("--batch-size", type=int, default=16)
-    run.add_argument("--lr", type=float, default=0.1)
-    run.add_argument("--width-mult", type=float, default=0.125)
-    run.add_argument("--image-size", type=int, default=16)
-    run.add_argument("--train-samples", type=int, default=224)
-    run.add_argument("--test-samples", type=int, default=64)
-    run.add_argument("--update-frequency", type=int, default=8)
-    run.add_argument("--seed", type=int, default=0)
-    run.add_argument("--out", default=None, help="write the outcome as JSON")
     run.add_argument("--quiet", action="store_true")
+
+    sweep = commands.add_parser(
+        "sweep", help="train several methods, optionally across processes"
+    )
+    add_workload_arguments(sweep)
+    sweep.add_argument(
+        "--method", action="append", choices=METHOD_CHOICES, default=None,
+        help="method to include (repeatable; default: the full zoo)",
+    )
+    sweep.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the sweep (1 = sequential)",
+    )
 
     commands.add_parser("list", help="list datasets, models and methods")
 
@@ -69,11 +96,11 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _command_run(args: argparse.Namespace) -> int:
-    config = scaled_config(
+def _config_from_args(args: argparse.Namespace, method: str):
+    return scaled_config(
         args.dataset,
         args.model,
-        args.method,
+        method,
         args.sparsity,
         initial_sparsity=args.initial_sparsity,
         epochs=args.epochs,
@@ -86,7 +113,12 @@ def _command_run(args: argparse.Namespace) -> int:
         test_samples=args.test_samples,
         update_frequency=args.update_frequency,
         seed=args.seed,
+        execution=args.execution,
     )
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    config = _config_from_args(args, args.method)
     outcome = run_method(config, verbose=not args.quiet)
     summary = {
         "dataset": args.dataset,
@@ -108,6 +140,47 @@ def _command_run(args: argparse.Namespace) -> int:
     )
     if args.out:
         save_json(args.out, summary)
+        print(f"wrote {args.out}")
+    return 0
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    methods = args.method or list(METHOD_CHOICES)
+    base = _config_from_args(args, methods[0])
+    configs = sweep_configs(base, methods)
+    outcomes = run_sweep(configs, jobs=args.jobs)
+    rows = [
+        (
+            config.dataset,
+            config.model,
+            config.method,
+            f"{outcome.final_sparsity:.3f}",
+            outcome.final_accuracy,
+        )
+        for config, outcome in zip(configs, outcomes)
+    ]
+    print(
+        format_table(
+            ["dataset", "model", "method", "sparsity", "test_acc"],
+            rows,
+            title=f"sweep over {len(configs)} runs (jobs={args.jobs})",
+        )
+    )
+    if args.out:
+        payload = [
+            {
+                "dataset": config.dataset,
+                "model": config.model,
+                "method": config.method,
+                "target_sparsity": config.sparsity,
+                "final_sparsity": outcome.final_sparsity,
+                "final_accuracy": outcome.final_accuracy,
+                "best_accuracy": outcome.best_accuracy,
+                "epochs_trained": len(outcome.history),
+            }
+            for config, outcome in zip(configs, outcomes)
+        ]
+        save_json(args.out, payload)
         print(f"wrote {args.out}")
     return 0
 
@@ -148,6 +221,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
         "run": _command_run,
+        "sweep": _command_sweep,
         "list": _command_list,
         "memory": _command_memory,
     }

@@ -10,6 +10,8 @@ from .runner import (
     run_experiment,
     run_lth_experiment,
     run_method,
+    run_sweep,
+    sweep_configs,
 )
 
 __all__ = [
@@ -21,6 +23,8 @@ __all__ = [
     "run_experiment",
     "run_lth_experiment",
     "run_method",
+    "run_sweep",
+    "sweep_configs",
     "build_loaders",
     "build_experiment_model",
     "build_method",

@@ -57,6 +57,12 @@ class ExperimentConfig:
     test_samples: int = 128
     seed: int = 0
 
+    # Masked-layer execution: ``dense`` reproduces the historical
+    # bit-exact path, ``auto`` routes layers through the CSR kernels
+    # when their measured density drops below the dispatch threshold,
+    # ``csr`` forces the sparse kernels everywhere.
+    execution: str = "dense"
+
     def scaled(self, **overrides) -> "ExperimentConfig":
         """Copy with field overrides."""
         return replace(self, **overrides)

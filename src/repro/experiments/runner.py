@@ -2,13 +2,15 @@
 
 These runners are the single code path behind every table/figure bench
 and the examples, so the reproduction results always exercise the real
-library API.
+library API.  :func:`run_sweep` fans a list of configs out across
+worker processes (``--jobs`` on the CLI) for table/figure grids.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
 
@@ -54,8 +56,18 @@ class ExperimentOutcome:
 
 
 def build_loaders(config: ExperimentConfig, augment: bool = False):
-    """Train/test loaders for a config's dataset."""
-    rng = np.random.default_rng(config.seed + 1)
+    """Train/test loaders for a config's dataset.
+
+    Each consumer of randomness — augmentation and train-loader
+    shuffling — gets its own seed-derived generator (spawned from one
+    root ``SeedSequence``), so enabling augmentation never perturbs the
+    shuffle order, and sweep workers running under ``--jobs`` reproduce
+    the exact single-process streams.
+    """
+    augment_rng, shuffle_rng = (
+        np.random.default_rng(seq)
+        for seq in np.random.SeedSequence(config.seed).spawn(2)
+    )
     train_set = make_dataset(
         config.dataset,
         train=True,
@@ -72,9 +84,10 @@ def build_loaders(config: ExperimentConfig, augment: bool = False):
         num_classes=config.num_classes,
         seed=config.seed,
     )
-    transform = standard_train_transform(padding=2, rng=rng) if augment else None
+    transform = standard_train_transform(padding=2, rng=augment_rng) if augment else None
     train_loader = DataLoader(
-        train_set, batch_size=config.batch_size, shuffle=True, transform=transform, rng=rng
+        train_set, batch_size=config.batch_size, shuffle=True,
+        transform=transform, rng=shuffle_rng,
     )
     test_loader = DataLoader(test_set, batch_size=config.batch_size, shuffle=False)
     return train_loader, test_loader, train_set
@@ -192,6 +205,7 @@ def run_experiment(config: ExperimentConfig, verbose: bool = False) -> Experimen
         test_loader=test_loader,
         scheduler=scheduler,
     )
+    method.set_execution(config.execution)
     result = trainer.fit(config.epochs, verbose=verbose)
     return ExperimentOutcome(
         config=config,
@@ -244,6 +258,7 @@ def run_lth_experiment(
             test_loader=test_loader,
             scheduler=scheduler,
         )
+        method.set_execution(config.execution)
         result = trainer.fit(epochs_per_round, verbose=verbose)
         combined_history.extend(result.history)
         final_accuracy = result.final_accuracy
@@ -272,3 +287,47 @@ def run_method(config: ExperimentConfig, verbose: bool = False) -> ExperimentOut
     if config.method == "lth":
         return run_lth_experiment(config, verbose=verbose)
     return run_experiment(config, verbose=verbose)
+
+
+def _sweep_worker(config: ExperimentConfig) -> ExperimentOutcome:
+    """Module-level worker so it pickles under every start method."""
+    return run_method(config, verbose=False)
+
+
+def sweep_configs(
+    base: ExperimentConfig,
+    methods: Sequence[str],
+    sparsities: Optional[Sequence[float]] = None,
+) -> List[ExperimentConfig]:
+    """Cross a base config with a method (and optional sparsity) grid."""
+    configs = []
+    for method in methods:
+        for sparsity in sparsities if sparsities else (base.sparsity,):
+            configs.append(base.scaled(method=method, sparsity=sparsity))
+    return configs
+
+
+def run_sweep(
+    configs: Iterable[ExperimentConfig],
+    jobs: int = 1,
+    verbose: bool = False,
+) -> List[ExperimentOutcome]:
+    """Run many experiments, optionally fanned out across processes.
+
+    ``jobs <= 1`` runs sequentially in-process; otherwise a
+    ``multiprocessing`` pool of ``jobs`` workers maps over the configs.
+    Outcomes come back in input order either way, and each experiment
+    derives every random stream from its own config seed, so results
+    are independent of the job count.
+    """
+    configs = list(configs)
+    if jobs <= 1 or len(configs) <= 1:
+        return [run_method(config, verbose=verbose) for config in configs]
+    # fork shares the already-imported interpreter state (cheapest);
+    # spawn is the portable fallback where fork is unavailable.
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:
+        context = multiprocessing.get_context("spawn")
+    with context.Pool(processes=min(jobs, len(configs))) as pool:
+        return pool.map(_sweep_worker, configs)

@@ -6,13 +6,18 @@ from typing import Optional
 
 import numpy as np
 
-from ..tensor import Tensor, avg_pool2d, conv2d, max_pool2d
+from ..tensor import Tensor, avg_pool2d, masked_conv2d, masked_linear, max_pool2d
 from . import init
 from .module import Module, Parameter
 
 
 class Linear(Module):
-    """Affine layer ``y = x W^T + b`` with weight shape ``(out, in)``."""
+    """Affine layer ``y = x W^T + b`` with weight shape ``(out, in)``.
+
+    When a :class:`~repro.sparse.engine.SparsityManager` binds layers,
+    ``weight_state`` carries the layer's mask/CSR state and the forward
+    pass dispatches dense-vs-CSR by measured density.
+    """
 
     def __init__(
         self,
@@ -29,19 +34,21 @@ class Linear(Module):
             self.bias = Parameter(init.uniform_bias((out_features,), self.weight.shape, rng=rng))
         else:
             self.bias = None
+        self.weight_state = None
 
     def forward(self, x: Tensor) -> Tensor:
-        out = x.matmul(self.weight.T)
-        if self.bias is not None:
-            out = out + self.bias
-        return out
+        return masked_linear(x, self.weight, self.bias, self.weight_state)
 
     def __repr__(self) -> str:
         return f"Linear(in={self.in_features}, out={self.out_features}, bias={self.bias is not None})"
 
 
 class Conv2d(Module):
-    """2-D convolution with filters of shape ``(F, C, kh, kw)``."""
+    """2-D convolution with filters of shape ``(F, C, kh, kw)``.
+
+    Like :class:`Linear`, a bound ``weight_state`` routes the forward
+    pass through the CSR fast path at low measured density.
+    """
 
     def __init__(
         self,
@@ -65,9 +72,13 @@ class Conv2d(Module):
             self.bias = Parameter(init.uniform_bias((out_channels,), shape, rng=rng))
         else:
             self.bias = None
+        self.weight_state = None
 
     def forward(self, x: Tensor) -> Tensor:
-        return conv2d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
+        return masked_conv2d(
+            x, self.weight, self.bias,
+            stride=self.stride, padding=self.padding, state=self.weight_state,
+        )
 
     def __repr__(self) -> str:
         return (

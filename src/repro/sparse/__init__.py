@@ -11,10 +11,24 @@ from .analysis import (
     topology_change,
 )
 from .base import DenseMethod, SparseTrainingMethod, StaticMaskMethod
+from .engine import (
+    DEFAULT_CSR_THRESHOLD,
+    EXECUTION_MODES,
+    DropGrowMethod,
+    MaskedParameter,
+    SparsityManager,
+)
 from .gmp import GMPSNN
 from .snip import SNIPSNN
 from .structured import StructuredFilterPruning, filter_norms
-from .storage import CSRMatrix, csr_decode, csr_encode, model_csr_storage_bits
+from .storage import (
+    HAVE_SCIPY,
+    CSRMatrix,
+    CSRPattern,
+    csr_decode,
+    csr_encode,
+    model_csr_storage_bits,
+)
 from .inference import (
     CSRConv2d,
     CSRLinear,
@@ -52,6 +66,11 @@ __all__ = [
     "SparseTrainingMethod",
     "DenseMethod",
     "StaticMaskMethod",
+    "DropGrowMethod",
+    "MaskedParameter",
+    "SparsityManager",
+    "EXECUTION_MODES",
+    "DEFAULT_CSR_THRESHOLD",
     "NDSNN",
     "UpdateRecord",
     "SETSNN",
@@ -63,6 +82,8 @@ __all__ = [
     "StructuredFilterPruning",
     "filter_norms",
     "CSRMatrix",
+    "CSRPattern",
+    "HAVE_SCIPY",
     "csr_encode",
     "csr_decode",
     "model_csr_storage_bits",

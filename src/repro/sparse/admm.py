@@ -12,6 +12,9 @@ After the ADMM phase, weights are hard-pruned by magnitude to the
 target per-layer sparsity and the surviving weights are fine-tuned
 under a static mask (the classic train-prune-retrain shape of Fig. 1's
 orange curve).
+
+A thin strategy over the sparsity engine: the dual variables live
+here, the hard prune is the engine's magnitude initialisation.
 """
 
 from __future__ import annotations
@@ -20,9 +23,8 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from .base import SparseTrainingMethod
+from .engine import SparseTrainingMethod, SparsityManager
 from .erk import build_distribution
-from .mask import MaskManager
 
 
 class ADMMPruner(SparseTrainingMethod):
@@ -77,7 +79,7 @@ class ADMMPruner(SparseTrainingMethod):
         return int(self.total_iterations * self.admm_fraction)
 
     def setup(self) -> None:
-        self.masks = MaskManager(self.model, rng=self._rng)
+        self.masks = SparsityManager(self.model, rng=self._rng)
         self.densities = build_distribution(
             self.distribution, self.masks.shapes, 1.0 - self.target_sparsity
         )
@@ -122,17 +124,9 @@ class ADMMPruner(SparseTrainingMethod):
 
     def _hard_prune(self) -> None:
         """Magnitude-prune to the target distribution, freeze the mask."""
-        for name in self.masks.masks:
-            parameter = self.masks.parameters[name]
-            density = self.densities[name]
-            keep = max(1, int(round(density * parameter.size)))
-            flat = np.abs(parameter.data.reshape(-1))
-            order = np.argpartition(flat, flat.size - keep)[flat.size - keep:]
-            mask = np.zeros(parameter.size, dtype=np.float32)
-            mask[order] = 1.0
-            self.masks.set_mask(name, mask.reshape(parameter.shape))
-        self.masks.apply_masks()
+        self.masks.init_from_magnitude(self.densities)
         self.pruned = True
+        self._record_mask_update()
 
     def after_step(self, iteration: int) -> None:
         if self.pruned:

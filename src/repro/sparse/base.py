@@ -1,146 +1,12 @@
-"""Common interface for sparse-training methods.
+"""Method base classes (compatibility shim).
 
-The :class:`~repro.train.trainer.Trainer` drives methods through three
-hooks per iteration:
-
-1. ``after_backward(iteration)`` — gradients for *all* weights (active
-   and inactive) are available; dynamic methods may update topology
-   here (gradient-based growth needs the dense gradient) and must mask
-   gradients so only active weights are updated.
-2. (optimizer step happens)
-3. ``after_step(iteration)`` — re-enforce masks (momentum terms can
-   perturb pruned weights).
-
-Epoch-level hooks support methods with coarse phase structure (ADMM's
-dual updates, LTH's round boundaries live outside single runs).
+The method interface moved into :mod:`repro.sparse.engine` as part of
+the unified sparsity engine; this module keeps the historical import
+path alive for external code and tests.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from .engine import DenseMethod, SparseTrainingMethod, StaticMaskMethod
 
-import numpy as np
-
-from ..nn.module import Module
-from .mask import MaskManager
-
-
-class SparseTrainingMethod:
-    """Base class for everything in the Table I method column."""
-
-    name = "base"
-
-    def __init__(self) -> None:
-        self.model: Optional[Module] = None
-        self.optimizer = None
-        self.masks: Optional[MaskManager] = None
-
-    # ------------------------------------------------------------------
-    # Lifecycle
-    # ------------------------------------------------------------------
-    def bind(self, model: Module, optimizer) -> None:
-        """Attach the method to a model/optimizer pair before training."""
-        self.model = model
-        self.optimizer = optimizer
-        self.setup()
-
-    def setup(self) -> None:
-        """Initialise masks; called once from :meth:`bind`."""
-
-    # ------------------------------------------------------------------
-    # Per-iteration hooks
-    # ------------------------------------------------------------------
-    def after_backward(self, iteration: int) -> None:
-        """Called when gradients are available, before the optimizer step."""
-        if self.masks is not None:
-            self.masks.apply_to_gradients()
-
-    def after_step(self, iteration: int) -> None:
-        """Called after the optimizer step."""
-        if self.masks is not None:
-            self.masks.apply_masks()
-
-    # ------------------------------------------------------------------
-    # Per-epoch hooks
-    # ------------------------------------------------------------------
-    def on_epoch_begin(self, epoch: int) -> None:
-        """Called at the start of every epoch."""
-
-    def on_epoch_end(self, epoch: int) -> None:
-        """Called at the end of every epoch."""
-
-    # ------------------------------------------------------------------
-    # Reporting
-    # ------------------------------------------------------------------
-    def sparsity(self) -> float:
-        """Current global sparsity of the sparsifiable weights."""
-        if self.masks is None:
-            return 0.0
-        return self.masks.sparsity()
-
-    def density(self) -> float:
-        return 1.0 - self.sparsity()
-
-    def sparsity_distribution(self) -> Dict[str, float]:
-        if self.masks is None:
-            return {}
-        return self.masks.sparsity_distribution()
-
-    def _reset_momentum(self, name: str, flat_indices: np.ndarray) -> None:
-        """Zero optimizer state at newly-grown weight positions."""
-        if self.optimizer is None or flat_indices.size == 0 or self.masks is None:
-            return
-        parameter = self.masks.parameters[name]
-        reset = getattr(self.optimizer, "reset_state_entries", None)
-        if reset is not None:
-            reset(parameter, flat_indices)
-
-    def __repr__(self) -> str:
-        return f"{self.__class__.__name__}()"
-
-
-class DenseMethod(SparseTrainingMethod):
-    """No sparsification at all — the paper's dense baseline."""
-
-    name = "dense"
-
-    def after_backward(self, iteration: int) -> None:  # no masks to apply
-        return
-
-    def after_step(self, iteration: int) -> None:
-        return
-
-    def sparsity(self) -> float:
-        return 0.0
-
-
-class StaticMaskMethod(SparseTrainingMethod):
-    """Train under a fixed mask (used for LTH retraining rounds).
-
-    Parameters
-    ----------
-    masks:
-        Optional dict of layer name to binary mask.  If omitted, a
-        random topology at ``densities`` is drawn at setup.
-    """
-
-    name = "static"
-
-    def __init__(
-        self,
-        masks: Optional[Dict[str, np.ndarray]] = None,
-        densities: Optional[Dict[str, float]] = None,
-        rng: Optional[np.random.Generator] = None,
-    ) -> None:
-        super().__init__()
-        self._initial_masks = masks
-        self._densities = densities
-        self._rng = rng
-
-    def setup(self) -> None:
-        self.masks = MaskManager(self.model, rng=self._rng)
-        if self._initial_masks is not None:
-            self.masks.load_masks(self._initial_masks)
-        elif self._densities is not None:
-            self.masks.init_random(self._densities)
-        self.masks.apply_masks()
+__all__ = ["SparseTrainingMethod", "DenseMethod", "StaticMaskMethod"]

@@ -1,0 +1,795 @@
+"""Unified sparsity engine shared by every sparse-training method.
+
+Two layers live here:
+
+* :class:`MaskedParameter` — the per-layer unit of sparse state: the
+  parameter itself, its binary mask, the density target, and cached CSR
+  pattern/regrowth bookkeeping.  All topology edits (drop by magnitude,
+  grow by score, grow random) are methods of this object, so every
+  training method manipulates sparsity through exactly one code path.
+
+* :class:`SparsityManager` — owns one :class:`MaskedParameter` per
+  sparsifiable weight tensor of a model and provides network-level
+  operations: distribution initialisation, mask/gradient enforcement,
+  global magnitude pruning, sparsity reporting, and (optionally) layer
+  binding so the forward pass can take the CSR fast path.
+
+On top of the manager, :class:`DropGrowMethod` factors the shared
+structure of the drop-and-grow family (NDSNN, SET, RigL, GMP): the
+update clock, the per-round record keeping, and the momentum reset at
+grown connections.  Concrete methods reduce to a handful of lines that
+define per-layer drop/grow counts and growth scores.
+
+The engine preserves the exact numerical behaviour (including RNG call
+order) of the pre-refactor per-method implementations; the golden-mask
+regression test pins this down for all eight methods.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..nn.module import Module, Parameter
+from .erk import build_distribution
+
+#: Execution modes for masked layers.  ``dense`` always multiplies the
+#: (already masked) dense weights; ``auto`` picks CSR when the measured
+#: layer density drops below the dispatch threshold; ``csr`` forces the
+#: sparse kernels.
+EXECUTION_MODES = ("dense", "auto", "csr")
+
+#: Default measured-density threshold below which ``auto`` execution
+#: routes a layer through the CSR kernels.  At ~25% density the CSR
+#: matmul overtakes the dense masked matmul on CPU (see
+#: ``benchmarks/bench_kernels.py``).
+DEFAULT_CSR_THRESHOLD = 0.25
+
+
+def sparsifiable_parameters(model: Module, exclude: Iterable[str] = ()) -> List[Tuple[str, Parameter]]:
+    """Named weight tensors that take part in sparsification.
+
+    Selects parameters with ndim >= 2 (conv filters and linear weights);
+    1-D parameters (biases, batch-norm scales) are left dense.
+    """
+    excluded = set(exclude)
+    selected = []
+    for name, parameter in model.named_parameters():
+        if parameter.ndim >= 2 and name not in excluded:
+            selected.append((name, parameter))
+    return selected
+
+
+class MaskedParameter:
+    """Per-layer sparse state: parameter, mask, target, CSR cache.
+
+    The mask array is shared by reference with the owning manager's
+    ``masks`` dict, so in-place edits through either handle stay
+    consistent.  ``pattern_version`` increments whenever the sparsity
+    pattern may have changed; the CSR fast path uses it to invalidate
+    its cached column-index/row-pointer structure.
+    """
+
+    __slots__ = (
+        "name",
+        "parameter",
+        "mask",
+        "density_target",
+        "pattern_version",
+        "_csr_cache",
+        "_count_cache",
+        "_count_version",
+        "manager",
+    )
+
+    def __init__(self, name: str, parameter: Parameter) -> None:
+        self.name = name
+        self.parameter = parameter
+        self.mask: np.ndarray = np.ones(parameter.shape, dtype=np.float32)
+        self.density_target: Optional[float] = None
+        self.pattern_version = 0
+        self._csr_cache = None
+        self._count_cache: Optional[int] = None
+        self._count_version = -1
+        self.manager: Optional["SparsityManager"] = None
+
+    # ------------------------------------------------------------------
+    # Counts / reporting
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return self.parameter.size
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.parameter.shape
+
+    def nonzero_count(self) -> int:
+        # Cached per pattern version: the count only changes at topology
+        # edits (all of which call touch), and auto-mode dispatch asks
+        # for it on every forward.
+        if self._count_version != self.pattern_version:
+            self._count_cache = int(self.mask.sum())
+            self._count_version = self.pattern_version
+        return self._count_cache
+
+    def density(self) -> float:
+        return self.nonzero_count() / self.size
+
+    def sparsity(self) -> float:
+        return 1.0 - self.density()
+
+    # ------------------------------------------------------------------
+    # Mask replacement / enforcement
+    # ------------------------------------------------------------------
+    def set_mask(self, mask: np.ndarray) -> None:
+        """Replace the mask (shape-checked); invalidates the CSR cache."""
+        if mask.shape != self.parameter.shape:
+            raise ValueError(
+                f"mask shape {mask.shape} does not match parameter "
+                f"{self.name!r} shape {self.parameter.shape}"
+            )
+        self.mask[...] = mask.astype(np.float32)
+        self.touch()
+
+    def touch(self) -> None:
+        """Mark the sparsity pattern as changed."""
+        self.pattern_version += 1
+        self._csr_cache = None
+
+    def apply_mask(self) -> None:
+        """Zero out masked weight entries (idempotent)."""
+        self.parameter.data *= self.mask
+
+    def apply_grad_mask(self) -> None:
+        """Zero gradients of inactive weights."""
+        if self.parameter.grad is not None:
+            self.parameter.grad *= self.mask
+
+    # ------------------------------------------------------------------
+    # Topology edits
+    # ------------------------------------------------------------------
+    def drop_by_magnitude(self, count: int) -> np.ndarray:
+        """Deactivate the ``count`` active weights closest to zero.
+
+        Returns the flat indices that were dropped.
+        """
+        if count <= 0:
+            return np.empty(0, dtype=np.int64)
+        mask_flat = self.mask.reshape(-1)
+        weight_flat = self.parameter.data.reshape(-1)
+        active = np.flatnonzero(mask_flat)
+        count = min(count, active.size)
+        if count == 0:
+            return np.empty(0, dtype=np.int64)
+        magnitudes = np.abs(weight_flat[active])
+        chosen = active[np.argpartition(magnitudes, count - 1)[:count]]
+        mask_flat[chosen] = 0.0
+        weight_flat[chosen] = 0.0
+        self.touch()
+        return chosen
+
+    def grow_by_score(self, count: int, scores: np.ndarray) -> np.ndarray:
+        """Activate the ``count`` inactive positions with the highest score.
+
+        ``scores`` is a dense array over the full weight tensor (e.g.
+        gradient magnitude for RigL/NDSNN).  New weights start at zero,
+        following the RigL convention.  Returns the grown flat indices.
+        """
+        if count <= 0:
+            return np.empty(0, dtype=np.int64)
+        mask_flat = self.mask.reshape(-1)
+        weight_flat = self.parameter.data.reshape(-1)
+        inactive = np.flatnonzero(mask_flat == 0.0)
+        count = min(count, inactive.size)
+        if count == 0:
+            return np.empty(0, dtype=np.int64)
+        score_flat = np.abs(scores.reshape(-1)[inactive])
+        chosen = inactive[np.argpartition(score_flat, score_flat.size - count)[-count:]]
+        mask_flat[chosen] = 1.0
+        weight_flat[chosen] = 0.0
+        self.touch()
+        return chosen
+
+    def grow_random(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Activate ``count`` random inactive positions (SET growth)."""
+        if count <= 0:
+            return np.empty(0, dtype=np.int64)
+        mask_flat = self.mask.reshape(-1)
+        weight_flat = self.parameter.data.reshape(-1)
+        inactive = np.flatnonzero(mask_flat == 0.0)
+        count = min(count, inactive.size)
+        if count == 0:
+            return np.empty(0, dtype=np.int64)
+        chosen = rng.choice(inactive, size=count, replace=False)
+        mask_flat[chosen] = 1.0
+        weight_flat[chosen] = 0.0
+        self.touch()
+        return chosen
+
+    # ------------------------------------------------------------------
+    # CSR fast path support
+    # ------------------------------------------------------------------
+    def csr_pattern(self):
+        """Cached CSR pattern of the current mask (lazy).
+
+        Returns a :class:`~repro.sparse.storage.CSRPattern` keyed to the
+        current ``pattern_version``; weight *values* are gathered fresh
+        on every kernel call since they change each optimizer step.
+        """
+        if self._csr_cache is None:
+            from .storage import CSRPattern
+
+            self._csr_cache = CSRPattern.from_mask(self.mask)
+        return self._csr_cache
+
+    def __repr__(self) -> str:
+        return (
+            f"MaskedParameter({self.name!r}, shape={self.shape}, "
+            f"density={self.density():.3f})"
+        )
+
+
+class SparsityManager:
+    """Owns the :class:`MaskedParameter` states of a sparse model.
+
+    Drop-in successor of the historical ``MaskManager``: the ``masks``
+    and ``parameters`` dict attributes are kept (sharing storage with
+    the per-layer states) so method code and tests written against the
+    old interface keep working unchanged.
+
+    Parameters
+    ----------
+    model:
+        The network whose weight tensors are masked.
+    exclude:
+        Parameter names exempt from sparsification.
+    rng:
+        Random generator used for topology initialisation and random
+        growth (SET).
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        exclude: Iterable[str] = (),
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.model = model
+        selected = sparsifiable_parameters(model, exclude)
+        if not selected:
+            raise ValueError("model has no sparsifiable parameters")
+        self.states: "OrderedDict[str, MaskedParameter]" = OrderedDict()
+        for name, parameter in selected:
+            state = MaskedParameter(name, parameter)
+            state.manager = self
+            self.states[name] = state
+        self.parameters: Dict[str, Parameter] = {
+            name: state.parameter for name, state in self.states.items()
+        }
+        self.masks: Dict[str, np.ndarray] = {
+            name: state.mask for name, state in self.states.items()
+        }
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.execution = "dense"
+        self.csr_threshold = DEFAULT_CSR_THRESHOLD
+        self._bound = False
+
+    # ------------------------------------------------------------------
+    # Shapes / counts
+    # ------------------------------------------------------------------
+    @property
+    def shapes(self) -> Dict[str, Tuple[int, ...]]:
+        return {name: state.shape for name, state in self.states.items()}
+
+    def layer_size(self, name: str) -> int:
+        return self.states[name].size
+
+    @property
+    def total_weights(self) -> int:
+        return sum(state.size for state in self.states.values())
+
+    def nonzero_count(self, name: str) -> int:
+        return self.states[name].nonzero_count()
+
+    @property
+    def total_nonzero(self) -> int:
+        return sum(state.nonzero_count() for state in self.states.values())
+
+    # ------------------------------------------------------------------
+    # Sparsity reporting
+    # ------------------------------------------------------------------
+    def layer_sparsity(self, name: str) -> float:
+        return self.states[name].sparsity()
+
+    def sparsity(self) -> float:
+        """Global sparsity over all sparsifiable weights."""
+        return 1.0 - self.total_nonzero / self.total_weights
+
+    def density(self) -> float:
+        return 1.0 - self.sparsity()
+
+    def sparsity_distribution(self) -> Dict[str, float]:
+        return {name: state.sparsity() for name, state in self.states.items()}
+
+    # ------------------------------------------------------------------
+    # Initialisation
+    # ------------------------------------------------------------------
+    def init_random(self, densities: Dict[str, float]) -> None:
+        """Random topology at the requested per-layer densities.
+
+        The number of active weights per layer is the rounded density
+        times the layer size, clamped to at least one active weight.
+        """
+        for name, state in self.states.items():
+            density = densities[name]
+            size = state.size
+            keep = int(round(density * size))
+            keep = max(1, min(size, keep))
+            mask = np.zeros(size, dtype=np.float32)
+            active = self.rng.choice(size, size=keep, replace=False)
+            mask[active] = 1.0
+            state.set_mask(mask.reshape(state.shape))
+            state.density_target = density
+        self.apply_masks()
+
+    def init_from_magnitude(self, densities: Dict[str, float]) -> None:
+        """Keep the largest-magnitude weights per layer (pruning init)."""
+        for name, state in self.states.items():
+            density = densities[name]
+            size = state.size
+            keep = max(1, min(size, int(round(density * size))))
+            flat = np.abs(state.parameter.data.reshape(-1))
+            threshold_index = size - keep
+            order = np.argpartition(flat, threshold_index)[threshold_index:]
+            mask = np.zeros(size, dtype=np.float32)
+            mask[order] = 1.0
+            state.set_mask(mask.reshape(state.shape))
+            state.density_target = density
+        self.apply_masks()
+
+    def init_distribution(self, kind: str, density: float) -> Dict[str, float]:
+        """Random topology from a named distribution (``erk``/``uniform``).
+
+        Returns the per-layer densities that were applied.
+        """
+        densities = build_distribution(kind, self.shapes, density)
+        self.init_random(densities)
+        return densities
+
+    def set_mask(self, name: str, mask: np.ndarray) -> None:
+        """Replace one layer's mask (shape-checked)."""
+        self.states[name].set_mask(mask)
+
+    # ------------------------------------------------------------------
+    # Enforcement
+    # ------------------------------------------------------------------
+    def apply_masks(self) -> None:
+        """Zero out every masked weight (idempotent)."""
+        for state in self.states.values():
+            state.apply_mask()
+
+    def apply_to_gradients(self) -> None:
+        """Zero gradients of inactive weights (only active weights train)."""
+        for state in self.states.values():
+            state.apply_grad_mask()
+
+    def copy_masks(self) -> Dict[str, np.ndarray]:
+        return {name: state.mask.copy() for name, state in self.states.items()}
+
+    def load_masks(self, masks: Dict[str, np.ndarray]) -> None:
+        for name, mask in masks.items():
+            self.set_mask(name, mask)
+        self.apply_masks()
+
+    # ------------------------------------------------------------------
+    # Topology edits (per-layer delegates, kept for API compatibility)
+    # ------------------------------------------------------------------
+    def drop_by_magnitude(self, name: str, count: int) -> np.ndarray:
+        return self.states[name].drop_by_magnitude(count)
+
+    def grow_by_score(self, name: str, count: int, scores: np.ndarray) -> np.ndarray:
+        return self.states[name].grow_by_score(count, scores)
+
+    def grow_random(self, name: str, count: int) -> np.ndarray:
+        return self.states[name].grow_random(count, self.rng)
+
+    # ------------------------------------------------------------------
+    # Network-level pruning
+    # ------------------------------------------------------------------
+    def global_magnitude_threshold(
+        self, sparsity: float, scores: Optional[Dict[str, np.ndarray]] = None
+    ) -> float:
+        """Score threshold keeping the global top-(1 - sparsity) fraction.
+
+        ``scores`` defaults to weight magnitudes over *active* entries;
+        SNIP passes sensitivity scores, LTH uses the default.
+        """
+        chunks = []
+        for name, state in self.states.items():
+            if scores is not None:
+                chunks.append(np.asarray(scores[name]).reshape(-1))
+            else:
+                flat = state.mask.reshape(-1) > 0
+                chunks.append(np.abs(state.parameter.data.reshape(-1)[flat]))
+        all_scores = np.concatenate(chunks)
+        total = self.total_weights
+        keep = max(1, int(round((1.0 - sparsity) * total)))
+        keep = min(keep, all_scores.size)
+        return float(
+            np.partition(all_scores, all_scores.size - keep)[all_scores.size - keep]
+        )
+
+    # ------------------------------------------------------------------
+    # Layer binding / execution dispatch
+    # ------------------------------------------------------------------
+    def bind_layers(self, execution: Optional[str] = None, threshold: Optional[float] = None) -> int:
+        """Attach per-layer state to the owning nn modules.
+
+        After binding, ``Linear``/``Conv2d`` forward passes consult the
+        state and (under ``auto``/``csr`` execution) run the CSR fast
+        path.  Returns the number of layers bound.
+        """
+        if execution is not None:
+            self.set_execution(execution)
+        if threshold is not None:
+            self.csr_threshold = float(threshold)
+        by_parameter = {id(state.parameter): state for state in self.states.values()}
+        bound = 0
+        for module in self.model.modules():
+            weight = module._parameters.get("weight")
+            if weight is not None and id(weight) in by_parameter:
+                object.__setattr__(module, "weight_state", by_parameter[id(weight)])
+                bound += 1
+        self._bound = True
+        return bound
+
+    def unbind_layers(self) -> None:
+        """Detach layer state (layers fall back to the dense path)."""
+        for module in self.model.modules():
+            if getattr(module, "weight_state", None) is not None:
+                object.__setattr__(module, "weight_state", None)
+        self._bound = False
+
+    def set_execution(self, execution: str) -> None:
+        if execution not in EXECUTION_MODES:
+            raise ValueError(
+                f"unknown execution mode {execution!r} (choose from {EXECUTION_MODES})"
+            )
+        self.execution = execution
+        if execution != "dense" and not self._bound:
+            self.bind_layers()
+
+    def use_csr(self, state: MaskedParameter) -> bool:
+        """Dispatch decision for one layer, by measured density."""
+        if self.execution == "csr":
+            return True
+        if self.execution == "auto":
+            return state.density() <= self.csr_threshold
+        return False
+
+    def __repr__(self) -> str:
+        return (
+            f"SparsityManager(layers={len(self.states)}, "
+            f"sparsity={self.sparsity():.3f}, execution={self.execution!r})"
+        )
+
+
+@dataclass
+class UpdateRecord:
+    """Audit record of one drop-and-grow round (used by tests/benches)."""
+
+    iteration: int
+    death_rate: float
+    dropped: Dict[str, int] = field(default_factory=dict)
+    grown: Dict[str, int] = field(default_factory=dict)
+    sparsity_after: float = 0.0
+
+    @property
+    def total_dropped(self) -> int:
+        return sum(self.dropped.values())
+
+    @property
+    def total_grown(self) -> int:
+        return sum(self.grown.values())
+
+
+class SparseTrainingMethod:
+    """Base class for everything in the Table I method column.
+
+    The :class:`~repro.train.trainer.Trainer` drives methods through
+    hooks per iteration:
+
+    1. ``after_backward(iteration)`` — gradients for *all* weights
+       (active and inactive) are available; dynamic methods may update
+       topology here (gradient-based growth needs the dense gradient)
+       and must mask gradients so only active weights are updated.
+    2. (optimizer step happens)
+    3. ``after_step(iteration)`` — re-enforce masks (momentum terms can
+       perturb pruned weights).
+
+    Epoch-level hooks support methods with coarse phase structure
+    (ADMM's dual updates, LTH's round boundaries live outside single
+    runs).  Topology changes are announced through
+    :attr:`mask_update_count` / :attr:`last_update` so trainer callbacks
+    can observe ``on_mask_update`` events.
+    """
+
+    name = "base"
+
+    def __init__(self) -> None:
+        self.model: Optional[Module] = None
+        self.optimizer = None
+        self.masks: Optional[SparsityManager] = None
+        self.last_update: Optional[UpdateRecord] = None
+        self.mask_update_count = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def bind(self, model: Module, optimizer) -> None:
+        """Attach the method to a model/optimizer pair before training."""
+        self.model = model
+        self.optimizer = optimizer
+        self.setup()
+
+    def setup(self) -> None:
+        """Initialise masks; called once from :meth:`bind`."""
+
+    def set_execution(self, execution: str, threshold: Optional[float] = None) -> None:
+        """Select dense/auto/csr execution for the masked layers."""
+        if self.masks is not None:
+            if threshold is not None:
+                self.masks.csr_threshold = float(threshold)
+            self.masks.set_execution(execution)
+
+    # ------------------------------------------------------------------
+    # Per-iteration hooks
+    # ------------------------------------------------------------------
+    def after_backward(self, iteration: int) -> None:
+        """Called when gradients are available, before the optimizer step."""
+        if self.masks is not None:
+            self.masks.apply_to_gradients()
+
+    def after_step(self, iteration: int) -> None:
+        """Called after the optimizer step."""
+        if self.masks is not None:
+            self.masks.apply_masks()
+
+    # ------------------------------------------------------------------
+    # Per-epoch hooks
+    # ------------------------------------------------------------------
+    def on_epoch_begin(self, epoch: int) -> None:
+        """Called at the start of every epoch."""
+
+    def on_epoch_end(self, epoch: int) -> None:
+        """Called at the end of every epoch."""
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def sparsity(self) -> float:
+        """Current global sparsity of the sparsifiable weights."""
+        if self.masks is None:
+            return 0.0
+        return self.masks.sparsity()
+
+    def density(self) -> float:
+        return 1.0 - self.sparsity()
+
+    def sparsity_distribution(self) -> Dict[str, float]:
+        if self.masks is None:
+            return {}
+        return self.masks.sparsity_distribution()
+
+    def _record_mask_update(self, record: Optional[UpdateRecord] = None) -> None:
+        """Announce a topology change to trainer callbacks."""
+        self.last_update = record
+        self.mask_update_count += 1
+
+    def _reset_momentum(self, name: str, flat_indices: np.ndarray) -> None:
+        """Zero optimizer state at newly-grown weight positions."""
+        if self.optimizer is None or flat_indices.size == 0 or self.masks is None:
+            return
+        parameter = self.masks.parameters[name]
+        reset = getattr(self.optimizer, "reset_state_entries", None)
+        if reset is not None:
+            reset(parameter, flat_indices)
+
+    def __repr__(self) -> str:
+        return f"{self.__class__.__name__}()"
+
+
+class DenseMethod(SparseTrainingMethod):
+    """No sparsification at all — the paper's dense baseline."""
+
+    name = "dense"
+
+    def after_backward(self, iteration: int) -> None:  # no masks to apply
+        return
+
+    def after_step(self, iteration: int) -> None:
+        return
+
+    def sparsity(self) -> float:
+        return 0.0
+
+
+class StaticMaskMethod(SparseTrainingMethod):
+    """Train under a fixed mask (used for LTH retraining rounds).
+
+    Parameters
+    ----------
+    masks:
+        Optional dict of layer name to binary mask.  If omitted, a
+        random topology at ``densities`` is drawn at setup.
+    """
+
+    name = "static"
+
+    def __init__(
+        self,
+        masks: Optional[Dict[str, np.ndarray]] = None,
+        densities: Optional[Dict[str, float]] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self._initial_masks = masks
+        self._densities = densities
+        self._rng = rng
+
+    def setup(self) -> None:
+        self.masks = SparsityManager(self.model, rng=self._rng)
+        if self._initial_masks is not None:
+            self.masks.load_masks(self._initial_masks)
+        elif self._densities is not None:
+            self.masks.init_random(self._densities)
+        self.masks.apply_masks()
+
+
+class DropGrowMethod(SparseTrainingMethod):
+    """Shared engine of the drop-and-grow family (NDSNN/SET/RigL/GMP).
+
+    Subclasses customise four small hooks:
+
+    * :meth:`initial_densities` — topology at setup;
+    * :meth:`drop_count` — how many active weights one layer loses at
+      an update round;
+    * :meth:`grow_count` — how many connections it regains;
+    * :meth:`growth_scores` — dense score array ranking the inactive
+      positions (``None`` requests random growth).
+
+    Everything else — the update clock, the per-round bookkeeping, the
+    momentum reset at grown positions, mask re-application and the
+    :class:`UpdateRecord` history — lives here once.
+    """
+
+    #: Ramp-based methods (NDSNN, GMP) shrink ``update_frequency`` at
+    #: setup so very short runs still fit one update round; the
+    #: constant-sparsity baselines (SET, RigL) historically do not.
+    shrink_update_frequency = False
+
+    def __init__(
+        self,
+        total_iterations: int = 1000,
+        update_frequency: int = 100,
+        stop_fraction: float = 1.0,
+        distribution: str = "erk",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if update_frequency < 1:
+            raise ValueError("update_frequency must be >= 1")
+        if not 0.0 < stop_fraction <= 1.0:
+            raise ValueError("stop_fraction must be in (0, 1]")
+        self.total_iterations = int(total_iterations)
+        self.update_frequency = int(update_frequency)
+        self.stop_fraction = float(stop_fraction)
+        self.distribution = distribution
+        self._rng = rng
+        self.history: List[UpdateRecord] = []
+
+    # -- schedule geometry ---------------------------------------------
+    @property
+    def num_rounds(self) -> int:
+        """Number of topology-update rounds in the schedule horizon."""
+        horizon = int(self.total_iterations * self.stop_fraction)
+        return max(1, horizon // self.update_frequency)
+
+    @property
+    def horizon(self) -> int:
+        """Iteration after which the topology freezes."""
+        return self.num_rounds * self.update_frequency
+
+    def _is_update_step(self, iteration: int) -> bool:
+        return (
+            iteration > 0
+            and iteration % self.update_frequency == 0
+            and iteration <= self.horizon
+            and iteration < self.total_iterations
+        )
+
+    # -- lifecycle ------------------------------------------------------
+    def setup(self) -> None:
+        # Guarantee at least one update round on very short runs.
+        if self.shrink_update_frequency and self.update_frequency >= self.total_iterations:
+            self.update_frequency = max(1, self.total_iterations - 1)
+        self.masks = SparsityManager(self.model, rng=self._rng)
+        self.configure_schedules()
+        densities = self.initial_densities()
+        if densities is not None:
+            self.masks.init_random(densities)
+        self.history = []
+
+    def configure_schedules(self) -> None:
+        """Build per-method schedules; masks/shapes are available."""
+
+    def initial_densities(self) -> Optional[Dict[str, float]]:
+        """Per-layer densities for the random topology at setup.
+
+        Return ``None`` to start dense (GMP with zero initial sparsity).
+        """
+        raise NotImplementedError
+
+    # -- per-round strategy hooks --------------------------------------
+    def begin_round(self, iteration: int) -> None:
+        """Called once per update round before any layer is edited.
+
+        Strategies cache round-level schedule values (death rate,
+        sparsity targets) here instead of recomputing them per layer.
+        """
+
+    def drop_count(self, name: str, iteration: int) -> int:
+        """Active weights layer ``name`` should lose this round."""
+        raise NotImplementedError
+
+    def grow_count(self, name: str, iteration: int, dropped: int) -> int:
+        """Connections layer ``name`` regains after dropping ``dropped``."""
+        raise NotImplementedError
+
+    def growth_scores(self, name: str) -> Optional[np.ndarray]:
+        """Dense score array for growth, or ``None`` for random growth."""
+        raise NotImplementedError
+
+    def round_death_rate(self, iteration: int) -> float:
+        """Death/update fraction recorded on the round's audit record."""
+        return 0.0
+
+    # -- the one shared drop-and-grow loop ------------------------------
+    def after_backward(self, iteration: int) -> None:
+        if self._is_update_step(iteration):
+            self.update_topology(iteration)
+        self.masks.apply_to_gradients()
+
+    def update_topology(self, iteration: int) -> UpdateRecord:
+        """One drop-and-grow round across all layers."""
+        self.begin_round(iteration)
+        record = UpdateRecord(
+            iteration=iteration, death_rate=self.round_death_rate(iteration)
+        )
+        for name, state in self.masks.states.items():
+            dropped = state.drop_by_magnitude(self.drop_count(name, iteration))
+            grow = self.grow_count(name, iteration, dropped.size)
+            grown = np.empty(0, dtype=np.int64)
+            if grow > 0:
+                scores = self.growth_scores(name)
+                if scores is None:
+                    grown = state.grow_random(grow, self.masks.rng)
+                else:
+                    grown = state.grow_by_score(grow, scores)
+                self._reset_momentum(name, grown)
+            record.dropped[name] = int(dropped.size)
+            record.grown[name] = int(grown.size)
+        self.masks.apply_masks()
+        record.sparsity_after = self.masks.sparsity()
+        self.history.append(record)
+        self._record_mask_update(record)
+        return record
+
+    # Historical names for one explicit topology round, kept so tests and
+    # benches that poke a single round directly keep working.
+    _drop_and_grow = update_topology
+    _replace_connections = update_topology

@@ -5,21 +5,23 @@ cubic ramp as Eq. 4 but with *no regrowth* — weights are pruned by
 magnitude at each update step and never return.  Including it isolates
 the value of NDSNN's grow step: GMP shares the ramp, NDSNN adds
 gradient-guided regrowth.
+
+A thin strategy over :class:`~repro.sparse.engine.DropGrowMethod` with
+the grow count pinned to zero.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
-from .base import SparseTrainingMethod
+from .engine import DropGrowMethod, UpdateRecord
 from .erk import build_distribution
-from .mask import MaskManager
 from .schedule import LayerwiseSparsityRamp
 
 
-class GMPSNN(SparseTrainingMethod):
+class GMPSNN(DropGrowMethod):
     """Cubic-ramp magnitude pruning without regrowth.
 
     Parameters mirror :class:`~repro.sparse.ndsnn.NDSNN` minus the
@@ -27,6 +29,7 @@ class GMPSNN(SparseTrainingMethod):
     """
 
     name = "gmp"
+    shrink_update_frequency = True
 
     def __init__(
         self,
@@ -39,34 +42,27 @@ class GMPSNN(SparseTrainingMethod):
         ramp_power: float = 3.0,
         rng: Optional[np.random.Generator] = None,
     ) -> None:
-        super().__init__()
         if not 0.0 <= initial_sparsity <= final_sparsity < 1.0:
             raise ValueError(
                 f"need 0 <= theta_i <= theta_f < 1, got {initial_sparsity}, {final_sparsity}"
             )
+        super().__init__(
+            total_iterations=total_iterations,
+            update_frequency=update_frequency,
+            stop_fraction=stop_fraction,
+            distribution=distribution,
+            rng=rng,
+        )
         self.initial_sparsity = float(initial_sparsity)
         self.final_sparsity = float(final_sparsity)
-        self.total_iterations = int(total_iterations)
-        self.update_frequency = int(update_frequency)
-        self.stop_fraction = float(stop_fraction)
-        self.distribution = distribution
         self.ramp_power = float(ramp_power)
-        self._rng = rng
         self.ramp: Optional[LayerwiseSparsityRamp] = None
         self.prune_trace: List[float] = []
+        self._round_targets: Dict[str, float] = {}
 
-    @property
-    def num_rounds(self) -> int:
-        horizon = int(self.total_iterations * self.stop_fraction)
-        return max(1, horizon // self.update_frequency)
-
-    def setup(self) -> None:
-        # Guarantee at least one pruning round on very short runs.
-        if self.update_frequency >= self.total_iterations:
-            self.update_frequency = max(1, self.total_iterations - 1)
-        self.masks = MaskManager(self.model, rng=self._rng)
+    def configure_schedules(self) -> None:
         shapes = self.masks.shapes
-        initial = {
+        self._initial_distribution = {
             name: 1.0 - d
             for name, d in build_distribution(
                 self.distribution, shapes, 1.0 - self.initial_sparsity
@@ -79,39 +75,35 @@ class GMPSNN(SparseTrainingMethod):
             ).items()
         }
         self.ramp = LayerwiseSparsityRamp(
-            initial, final,
+            self._initial_distribution, final,
             t_start=0, num_rounds=self.num_rounds,
             update_frequency=self.update_frequency, power=self.ramp_power,
         )
-        if self.initial_sparsity > 0:
-            self.masks.init_random({name: 1.0 - s for name, s in initial.items()})
         self.prune_trace = []
 
-    def _is_update_step(self, iteration: int) -> bool:
-        horizon = self.num_rounds * self.update_frequency
-        return (
-            iteration > 0
-            and iteration % self.update_frequency == 0
-            and iteration <= horizon
-            and iteration < self.total_iterations
-        )
+    def initial_densities(self) -> Optional[Dict[str, float]]:
+        if self.initial_sparsity > 0:
+            return {name: 1.0 - s for name, s in self._initial_distribution.items()}
+        return None  # start dense
 
-    def after_backward(self, iteration: int) -> None:
-        if self._is_update_step(iteration):
-            self._prune_to_schedule(iteration)
-        self.masks.apply_to_gradients()
+    def begin_round(self, iteration: int) -> None:
+        self._round_targets = self.ramp.sparsity_at(iteration)
 
-    def _prune_to_schedule(self, iteration: int) -> None:
-        targets = self.ramp.sparsity_at(iteration)
-        for name in self.masks.masks:
-            layer_size = self.masks.layer_size(name)
-            target_active = max(1, int(round((1.0 - targets[name]) * layer_size)))
-            current = self.masks.nonzero_count(name)
-            excess = current - target_active
-            if excess > 0:
-                self.masks.drop_by_magnitude(name, excess)
-        self.masks.apply_masks()
-        self.prune_trace.append(self.masks.sparsity())
+    def drop_count(self, name: str, iteration: int) -> int:
+        layer_size = self.masks.layer_size(name)
+        target_active = max(1, int(round((1.0 - self._round_targets[name]) * layer_size)))
+        return self.masks.nonzero_count(name) - target_active
+
+    def grow_count(self, name: str, iteration: int, dropped: int) -> int:
+        return 0  # pruned weights never return
+
+    def growth_scores(self, name: str) -> None:
+        return None
+
+    def update_topology(self, iteration: int) -> UpdateRecord:
+        record = super().update_topology(iteration)
+        self.prune_trace.append(record.sparsity_after)
+        return record
 
     def __repr__(self) -> str:
         return f"GMPSNN(theta_f={self.final_sparsity}, dT={self.update_frequency})"

@@ -13,6 +13,10 @@ training restarts under the new mask.  The expensive part — and the
 inefficiency NDSNN attacks — is that early rounds train at low sparsity
 (the orange/blue curves of Fig. 1), and the procedure needs ``R`` full
 training runs.
+
+Mask state and the global magnitude threshold come from the shared
+:class:`~repro.sparse.engine.SparsityManager`; this controller only
+owns the round schedule and the rewind logic.
 """
 
 from __future__ import annotations
@@ -22,8 +26,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..nn.module import Module
-from .base import StaticMaskMethod
-from .mask import sparsifiable_parameters
+from .engine import SparsityManager, StaticMaskMethod
 
 
 class LTHSNN:
@@ -68,10 +71,10 @@ class LTHSNN:
         self.scope = scope
         self.rng = rng if rng is not None else np.random.default_rng()
         self.initial_state = model.state_dict()
-        self.parameters = dict(sparsifiable_parameters(model))
-        self.masks: Dict[str, np.ndarray] = {
-            name: np.ones(p.shape, dtype=np.float32) for name, p in self.parameters.items()
-        }
+        self.manager = SparsityManager(model, rng=self.rng)
+        # Dict views shared with the manager's per-layer states.
+        self.parameters = self.manager.parameters
+        self.masks: Dict[str, np.ndarray] = self.manager.masks
         self.sparsity_trace: List[float] = []
 
     # ------------------------------------------------------------------
@@ -107,54 +110,46 @@ class LTHSNN:
             self._prune_global(sparsity)
         else:
             self._prune_layerwise(sparsity)
-        return {name: mask.copy() for name, mask in self.masks.items()}
+        return self.manager.copy_masks()
 
     def _prune_global(self, sparsity: float) -> None:
-        magnitudes = []
-        for name, parameter in self.parameters.items():
-            active = self.masks[name].reshape(-1) > 0
-            magnitudes.append(np.abs(parameter.data.reshape(-1)[active]))
-        all_magnitudes = np.concatenate(magnitudes)
-        total = sum(p.size for p in self.parameters.values())
-        keep = max(1, int(round((1.0 - sparsity) * total)))
-        keep = min(keep, all_magnitudes.size)
-        threshold = np.partition(all_magnitudes, all_magnitudes.size - keep)[
-            all_magnitudes.size - keep
-        ]
-        for name, parameter in self.parameters.items():
-            survives = (np.abs(parameter.data) >= threshold) & (self.masks[name] > 0)
-            self.masks[name] = survives.astype(np.float32)
+        threshold = self.manager.global_magnitude_threshold(sparsity)
+        for state in self.manager.states.values():
+            survives = (np.abs(state.parameter.data) >= threshold) & (state.mask > 0)
+            state.set_mask(survives.astype(np.float32))
 
     def _prune_layerwise(self, sparsity: float) -> None:
-        for name, parameter in self.parameters.items():
-            flat = np.abs(parameter.data.reshape(-1))
-            active = self.masks[name].reshape(-1) > 0
+        for state in self.manager.states.values():
+            flat = np.abs(state.parameter.data.reshape(-1))
+            active = state.mask.reshape(-1) > 0
             keep = max(1, int(round((1.0 - sparsity) * flat.size)))
             values = flat.copy()
             values[~active] = -np.inf
             order = np.argpartition(values, flat.size - keep)[flat.size - keep:]
             mask = np.zeros(flat.size, dtype=np.float32)
             mask[order] = 1.0
-            self.masks[name] = (mask.reshape(parameter.shape) * (active.reshape(parameter.shape))).astype(np.float32)
+            state.set_mask(
+                (mask.reshape(state.shape) * active.reshape(state.shape)).astype(np.float32)
+            )
 
     def rewind(self) -> None:
         """Reset weights to initialization and re-apply the current mask."""
         self.model.load_state_dict(self.initial_state)
-        for name, parameter in self.parameters.items():
-            parameter.data *= self.masks[name]
+        self.manager.apply_masks()
 
     def method_for_round(self, round_index: int) -> StaticMaskMethod:
         """Static-mask training method for round ``round_index`` (1-based)."""
         if round_index == 1:
-            masks = {name: np.ones(p.shape, dtype=np.float32) for name, p in self.parameters.items()}
+            masks = {
+                name: np.ones(state.shape, dtype=np.float32)
+                for name, state in self.manager.states.items()
+            }
         else:
-            masks = {name: mask.copy() for name, mask in self.masks.items()}
+            masks = self.manager.copy_masks()
         return StaticMaskMethod(masks=masks, rng=self.rng)
 
     def current_sparsity(self) -> float:
-        total = sum(p.size for p in self.parameters.values())
-        nonzero = sum(int(mask.sum()) for mask in self.masks.values())
-        return 1.0 - nonzero / total
+        return self.manager.sparsity()
 
     def __repr__(self) -> str:
         return (

@@ -1,227 +1,20 @@
-"""Sparse mask bookkeeping shared by every sparse-training method.
+"""Mask bookkeeping (compatibility shim over the sparsity engine).
 
-A :class:`MaskManager` owns one binary mask per *sparsifiable*
-parameter (convolution and linear weights; biases and normalization
-parameters stay dense, as in the paper's substrate).  It can
-
-* initialise masks at a per-layer density distribution (random
-  topology, as all from-scratch sparse trainers do),
-* enforce masks on weights and gradients,
-* report exact per-layer and global sparsity,
-
-and exposes the raw mask arrays so methods can drop/grow connections.
+Historically every sparse-training method owned a ``MaskManager``; that
+role is now played by :class:`repro.sparse.engine.SparsityManager`,
+which adds per-layer :class:`~repro.sparse.engine.MaskedParameter`
+state, CSR pattern caching and execution dispatch.  ``MaskManager``
+remains as a name for the same object so existing call sites and tests
+keep working.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
-
-import numpy as np
-
-from ..nn.module import Module, Parameter
+from .engine import MaskedParameter, SparsityManager, sparsifiable_parameters
 
 
-def sparsifiable_parameters(model: Module, exclude: Iterable[str] = ()) -> List[Tuple[str, Parameter]]:
-    """Named weight tensors that take part in sparsification.
-
-    Selects parameters with ndim >= 2 (conv filters and linear weights);
-    1-D parameters (biases, batch-norm scales) are left dense.
-    """
-    excluded = set(exclude)
-    selected = []
-    for name, parameter in model.named_parameters():
-        if parameter.ndim >= 2 and name not in excluded:
-            selected.append((name, parameter))
-    return selected
+class MaskManager(SparsityManager):
+    """Alias of :class:`~repro.sparse.engine.SparsityManager`."""
 
 
-class MaskManager:
-    """Owns the binary masks of a sparse model.
-
-    Parameters
-    ----------
-    model:
-        The network whose weight tensors are masked.
-    exclude:
-        Parameter names exempt from sparsification.
-    rng:
-        Random generator used for topology initialisation and random
-        growth (SET).
-    """
-
-    def __init__(
-        self,
-        model: Module,
-        exclude: Iterable[str] = (),
-        rng: Optional[np.random.Generator] = None,
-    ) -> None:
-        self.model = model
-        self.parameters: Dict[str, Parameter] = dict(sparsifiable_parameters(model, exclude))
-        if not self.parameters:
-            raise ValueError("model has no sparsifiable parameters")
-        self.masks: Dict[str, np.ndarray] = {
-            name: np.ones(p.shape, dtype=np.float32) for name, p in self.parameters.items()
-        }
-        self.rng = rng if rng is not None else np.random.default_rng()
-
-    # ------------------------------------------------------------------
-    # Shapes / counts
-    # ------------------------------------------------------------------
-    @property
-    def shapes(self) -> Dict[str, Tuple[int, ...]]:
-        return {name: p.shape for name, p in self.parameters.items()}
-
-    def layer_size(self, name: str) -> int:
-        return self.parameters[name].size
-
-    @property
-    def total_weights(self) -> int:
-        return sum(p.size for p in self.parameters.values())
-
-    def nonzero_count(self, name: str) -> int:
-        return int(self.masks[name].sum())
-
-    @property
-    def total_nonzero(self) -> int:
-        return sum(self.nonzero_count(name) for name in self.masks)
-
-    # ------------------------------------------------------------------
-    # Sparsity reporting
-    # ------------------------------------------------------------------
-    def layer_sparsity(self, name: str) -> float:
-        return 1.0 - self.nonzero_count(name) / self.layer_size(name)
-
-    def sparsity(self) -> float:
-        """Global sparsity over all sparsifiable weights."""
-        return 1.0 - self.total_nonzero / self.total_weights
-
-    def density(self) -> float:
-        return 1.0 - self.sparsity()
-
-    def sparsity_distribution(self) -> Dict[str, float]:
-        return {name: self.layer_sparsity(name) for name in self.masks}
-
-    # ------------------------------------------------------------------
-    # Initialisation
-    # ------------------------------------------------------------------
-    def init_random(self, densities: Dict[str, float]) -> None:
-        """Random topology at the requested per-layer densities.
-
-        The number of active weights per layer is the rounded density
-        times the layer size, clamped to at least one active weight.
-        """
-        for name, parameter in self.parameters.items():
-            density = densities[name]
-            size = parameter.size
-            keep = int(round(density * size))
-            keep = max(1, min(size, keep))
-            mask = np.zeros(size, dtype=np.float32)
-            active = self.rng.choice(size, size=keep, replace=False)
-            mask[active] = 1.0
-            self.masks[name] = mask.reshape(parameter.shape)
-        self.apply_masks()
-
-    def init_from_magnitude(self, densities: Dict[str, float]) -> None:
-        """Keep the largest-magnitude weights per layer (pruning init)."""
-        for name, parameter in self.parameters.items():
-            density = densities[name]
-            size = parameter.size
-            keep = max(1, min(size, int(round(density * size))))
-            flat = np.abs(parameter.data.reshape(-1))
-            threshold_index = size - keep
-            order = np.argpartition(flat, threshold_index)[threshold_index:]
-            mask = np.zeros(size, dtype=np.float32)
-            mask[order] = 1.0
-            self.masks[name] = mask.reshape(parameter.shape)
-        self.apply_masks()
-
-    def set_mask(self, name: str, mask: np.ndarray) -> None:
-        """Replace one layer's mask (shape-checked)."""
-        if mask.shape != self.parameters[name].shape:
-            raise ValueError(
-                f"mask shape {mask.shape} does not match parameter {name!r} "
-                f"shape {self.parameters[name].shape}"
-            )
-        self.masks[name] = mask.astype(np.float32)
-
-    # ------------------------------------------------------------------
-    # Enforcement
-    # ------------------------------------------------------------------
-    def apply_masks(self) -> None:
-        """Zero out every masked weight (idempotent)."""
-        for name, parameter in self.parameters.items():
-            parameter.data *= self.masks[name]
-
-    def apply_to_gradients(self) -> None:
-        """Zero gradients of inactive weights (only active weights train)."""
-        for name, parameter in self.parameters.items():
-            if parameter.grad is not None:
-                parameter.grad *= self.masks[name]
-
-    def copy_masks(self) -> Dict[str, np.ndarray]:
-        return {name: mask.copy() for name, mask in self.masks.items()}
-
-    def load_masks(self, masks: Dict[str, np.ndarray]) -> None:
-        for name, mask in masks.items():
-            self.set_mask(name, mask)
-        self.apply_masks()
-
-    # ------------------------------------------------------------------
-    # Topology edits (used by drop-and-grow methods)
-    # ------------------------------------------------------------------
-    def drop_by_magnitude(self, name: str, count: int) -> np.ndarray:
-        """Deactivate the ``count`` active weights closest to zero.
-
-        Returns the flat indices that were dropped.
-        """
-        if count <= 0:
-            return np.empty(0, dtype=np.int64)
-        parameter = self.parameters[name]
-        mask_flat = self.masks[name].reshape(-1)
-        weight_flat = parameter.data.reshape(-1)
-        active = np.flatnonzero(mask_flat)
-        count = min(count, active.size)
-        if count == 0:
-            return np.empty(0, dtype=np.int64)
-        magnitudes = np.abs(weight_flat[active])
-        chosen = active[np.argpartition(magnitudes, count - 1)[:count]]
-        mask_flat[chosen] = 0.0
-        weight_flat[chosen] = 0.0
-        return chosen
-
-    def grow_by_score(self, name: str, count: int, scores: np.ndarray) -> np.ndarray:
-        """Activate the ``count`` inactive positions with the highest score.
-
-        ``scores`` is a dense array over the full weight tensor (e.g.
-        gradient magnitude for RigL/NDSNN).  New weights start at zero,
-        following the RigL convention.  Returns the grown flat indices.
-        """
-        if count <= 0:
-            return np.empty(0, dtype=np.int64)
-        parameter = self.parameters[name]
-        mask_flat = self.masks[name].reshape(-1)
-        weight_flat = parameter.data.reshape(-1)
-        inactive = np.flatnonzero(mask_flat == 0.0)
-        count = min(count, inactive.size)
-        if count == 0:
-            return np.empty(0, dtype=np.int64)
-        score_flat = np.abs(scores.reshape(-1)[inactive])
-        chosen = inactive[np.argpartition(score_flat, score_flat.size - count)[-count:]]
-        mask_flat[chosen] = 1.0
-        weight_flat[chosen] = 0.0
-        return chosen
-
-    def grow_random(self, name: str, count: int) -> np.ndarray:
-        """Activate ``count`` random inactive positions (SET growth)."""
-        if count <= 0:
-            return np.empty(0, dtype=np.int64)
-        mask_flat = self.masks[name].reshape(-1)
-        weight_flat = self.parameters[name].data.reshape(-1)
-        inactive = np.flatnonzero(mask_flat == 0.0)
-        count = min(count, inactive.size)
-        if count == 0:
-            return np.empty(0, dtype=np.int64)
-        chosen = self.rng.choice(inactive, size=count, replace=False)
-        mask_flat[chosen] = 1.0
-        weight_flat[chosen] = 0.0
-        return chosen
+__all__ = ["MaskManager", "MaskedParameter", "SparsityManager", "sparsifiable_parameters"]

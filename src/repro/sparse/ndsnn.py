@@ -16,41 +16,26 @@ Because ``G < D`` while the ramp is rising, the live-connection count
 decays from the ERK distribution at ``theta_i`` to the ERK distribution
 at ``theta_f``, mirroring the declining neuron population of adult
 hippocampal neurogenesis.
+
+Implemented as a thin strategy over the shared
+:class:`~repro.sparse.engine.DropGrowMethod` engine: this class only
+supplies the Eq. 4/5 schedules and the per-layer death/birth counts.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 import numpy as np
 
-from .base import SparseTrainingMethod
+from .engine import DropGrowMethod, UpdateRecord
 from .erk import build_distribution
-from .mask import MaskManager
 from .schedule import CosineDeathSchedule, LayerwiseSparsityRamp
 
-
-@dataclass
-class UpdateRecord:
-    """Audit record of one drop-and-grow round (used by tests/benches)."""
-
-    iteration: int
-    death_rate: float
-    dropped: Dict[str, int] = field(default_factory=dict)
-    grown: Dict[str, int] = field(default_factory=dict)
-    sparsity_after: float = 0.0
-
-    @property
-    def total_dropped(self) -> int:
-        return sum(self.dropped.values())
-
-    @property
-    def total_grown(self) -> int:
-        return sum(self.grown.values())
+__all__ = ["NDSNN", "UpdateRecord"]
 
 
-class NDSNN(SparseTrainingMethod):
+class NDSNN(DropGrowMethod):
     """Drop-and-grow sparse training with decreasing connection count.
 
     Parameters
@@ -80,6 +65,7 @@ class NDSNN(SparseTrainingMethod):
     """
 
     name = "ndsnn"
+    shrink_update_frequency = True
 
     def __init__(
         self,
@@ -95,48 +81,36 @@ class NDSNN(SparseTrainingMethod):
         ramp_power: float = 3.0,
         rng: Optional[np.random.Generator] = None,
     ) -> None:
-        super().__init__()
         if not 0.0 <= initial_sparsity <= final_sparsity < 1.0:
             raise ValueError(
                 f"need 0 <= theta_i <= theta_f < 1, got {initial_sparsity}, {final_sparsity}"
             )
-        if update_frequency < 1:
-            raise ValueError("update_frequency must be >= 1")
-        if not 0.0 < stop_fraction <= 1.0:
-            raise ValueError("stop_fraction must be in (0, 1]")
         if growth_mode not in ("gradient", "random", "momentum"):
             raise ValueError(f"unknown growth mode {growth_mode!r}")
+        super().__init__(
+            total_iterations=total_iterations,
+            update_frequency=update_frequency,
+            stop_fraction=stop_fraction,
+            distribution=distribution,
+            rng=rng,
+        )
         self.initial_sparsity = float(initial_sparsity)
         self.final_sparsity = float(final_sparsity)
-        self.total_iterations = int(total_iterations)
-        self.update_frequency = int(update_frequency)
         self.initial_death_rate = float(initial_death_rate)
         self.minimum_death_rate = float(minimum_death_rate)
-        self.stop_fraction = float(stop_fraction)
-        self.distribution = distribution
         self.growth_mode = growth_mode
         self.ramp_power = float(ramp_power)
-        self._rng = rng
         self.ramp: Optional[LayerwiseSparsityRamp] = None
         self.death_schedule: Optional[CosineDeathSchedule] = None
-        self.history: List[UpdateRecord] = []
+        self._round_targets: Dict[str, float] = {}
+        self._round_rate = 0.0
 
     # ------------------------------------------------------------------
-    # Setup
+    # Schedules (Eqs. 4 and 5)
     # ------------------------------------------------------------------
-    @property
-    def num_rounds(self) -> int:
-        """Number of drop-and-grow rounds ``n`` in the ramp horizon."""
-        horizon = int(self.total_iterations * self.stop_fraction)
-        return max(1, horizon // self.update_frequency)
-
-    def setup(self) -> None:
-        # Guarantee at least one drop-and-grow round on very short runs.
-        if self.update_frequency >= self.total_iterations:
-            self.update_frequency = max(1, self.total_iterations - 1)
-        self.masks = MaskManager(self.model, rng=self._rng)
+    def configure_schedules(self) -> None:
         shapes = self.masks.shapes
-        initial = {
+        self._initial_distribution = {
             name: 1.0 - d
             for name, d in build_distribution(
                 self.distribution, shapes, 1.0 - self.initial_sparsity
@@ -149,7 +123,7 @@ class NDSNN(SparseTrainingMethod):
             ).items()
         }
         self.ramp = LayerwiseSparsityRamp(
-            initial,
+            self._initial_distribution,
             final,
             t_start=0,
             num_rounds=self.num_rounds,
@@ -162,27 +136,38 @@ class NDSNN(SparseTrainingMethod):
             num_rounds=self.num_rounds,
             update_frequency=self.update_frequency,
         )
-        self.masks.init_random({name: 1.0 - s for name, s in initial.items()})
-        self.history = []
+
+    def initial_densities(self) -> Dict[str, float]:
+        return {name: 1.0 - s for name, s in self._initial_distribution.items()}
 
     # ------------------------------------------------------------------
-    # Per-iteration behaviour
+    # Per-round strategy (Eqs. 5–9)
     # ------------------------------------------------------------------
-    def _is_update_step(self, iteration: int) -> bool:
-        horizon = self.num_rounds * self.update_frequency
-        return (
-            iteration > 0
-            and iteration % self.update_frequency == 0
-            and iteration <= horizon
-            and iteration < self.total_iterations
-        )
+    def begin_round(self, iteration: int) -> None:
+        self._round_rate = self.death_schedule.rate_at(iteration)
+        self._round_targets = self.ramp.sparsity_at(iteration)
 
-    def after_backward(self, iteration: int) -> None:
-        if self._is_update_step(iteration):
-            self._drop_and_grow(iteration)
-        self.masks.apply_to_gradients()
+    def round_death_rate(self, iteration: int) -> float:
+        return self._round_rate
 
-    def _growth_scores(self, name: str) -> np.ndarray:
+    def _target_active(self, name: str) -> int:
+        layer_size = self.masks.layer_size(name)
+        return max(1, int(round((1.0 - self._round_targets[name]) * layer_size)))
+
+    def drop_count(self, name: str, iteration: int) -> int:
+        n_pre = self.masks.nonzero_count(name)  # Eq. 6
+        drop = int(self._round_rate * n_pre)  # Eq. 7
+        # Never drop below the target active count: the sparsity ramp
+        # dominates when the cosine death rate gets small (Eq. 9 must
+        # yield G >= 0).
+        drop = max(drop, n_pre - self._target_active(name))
+        return min(drop, n_pre - 1) if n_pre > 1 else 0
+
+    def grow_count(self, name: str, iteration: int, dropped: int) -> int:
+        n_post = self.masks.nonzero_count(name)  # Eq. 8
+        return self._target_active(name) - n_post  # Eq. 9
+
+    def growth_scores(self, name: str) -> np.ndarray:
         parameter = self.masks.parameters[name]
         if self.growth_mode == "gradient":
             if parameter.grad is None:
@@ -200,37 +185,6 @@ class NDSNN(SparseTrainingMethod):
             return np.abs(buffer)
         # random growth: a random permutation as scores
         return self.masks.rng.random(parameter.shape)
-
-    def _drop_and_grow(self, iteration: int) -> None:
-        """One round of Eqs. 5–9 across all layers."""
-        death_rate = self.death_schedule.rate_at(iteration)
-        targets = self.ramp.sparsity_at(iteration)
-        record = UpdateRecord(iteration=iteration, death_rate=death_rate)
-        for name in self.masks.masks:
-            layer_size = self.masks.layer_size(name)
-            n_pre = self.masks.nonzero_count(name)  # Eq. 6
-            target_active = max(1, int(round((1.0 - targets[name]) * layer_size)))
-            drop = int(death_rate * n_pre)  # Eq. 7
-            # Never drop below the target active count: the sparsity ramp
-            # dominates when the cosine death rate gets small (Eq. 9 must
-            # yield G >= 0).
-            drop = max(drop, n_pre - target_active)
-            drop = min(drop, n_pre - 1) if n_pre > 1 else 0
-            dropped = self.masks.drop_by_magnitude(name, drop)
-            n_post = n_pre - dropped.size  # Eq. 8
-            grow = target_active - n_post  # Eq. 9
-            grown = np.empty(0, dtype=np.int64)
-            if grow > 0:
-                if self.growth_mode == "random":
-                    grown = self.masks.grow_random(name, grow)
-                else:
-                    grown = self.masks.grow_by_score(name, grow, self._growth_scores(name))
-                self._reset_momentum(name, grown)
-            record.dropped[name] = int(dropped.size)
-            record.grown[name] = int(grown.size)
-        self.masks.apply_masks()
-        record.sparsity_after = self.masks.sparsity()
-        self.history.append(record)
 
     def __repr__(self) -> str:
         return (

@@ -6,22 +6,24 @@ largest gradient magnitude, with the update fraction cosine-annealed to
 zero over the schedule horizon:
 
     f(t) = (alpha / 2) * (1 + cos(pi * t / T_horizon))
+
+A thin strategy over :class:`~repro.sparse.engine.DropGrowMethod`:
+the cosine update fraction sets the drop count, gradient magnitude
+scores the regrowth.
 """
 
 from __future__ import annotations
 
 import math
-from typing import List, Optional
+from typing import Dict, Optional
 
 import numpy as np
 
-from .base import SparseTrainingMethod
+from .engine import DropGrowMethod
 from .erk import build_distribution
-from .mask import MaskManager
-from .ndsnn import UpdateRecord
 
 
-class RigLSNN(SparseTrainingMethod):
+class RigLSNN(DropGrowMethod):
     """Constant-sparsity drop-and-grow with gradient-based regrowth.
 
     Parameters
@@ -47,30 +49,29 @@ class RigLSNN(SparseTrainingMethod):
         distribution: str = "erk",
         rng: Optional[np.random.Generator] = None,
     ) -> None:
-        super().__init__()
         if not 0.0 <= sparsity < 1.0:
             raise ValueError(f"sparsity must be in [0, 1), got {sparsity}")
         if not 0.0 < alpha < 1.0:
             raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+        super().__init__(
+            total_iterations=total_iterations,
+            update_frequency=update_frequency,
+            stop_fraction=stop_fraction,
+            distribution=distribution,
+            rng=rng,
+        )
         self.target_sparsity = float(sparsity)
-        self.total_iterations = int(total_iterations)
-        self.update_frequency = int(update_frequency)
         self.alpha = float(alpha)
-        self.stop_fraction = float(stop_fraction)
-        self.distribution = distribution
-        self._rng = rng
-        self.history: List[UpdateRecord] = []
+        self._round_fraction = 0.0
 
-    def setup(self) -> None:
-        self.masks = MaskManager(self.model, rng=self._rng)
-        densities = build_distribution(
+    def initial_densities(self) -> Dict[str, float]:
+        return build_distribution(
             self.distribution, self.masks.shapes, 1.0 - self.target_sparsity
         )
-        self.masks.init_random(densities)
-        self.history = []
 
     @property
     def horizon(self) -> int:
+        """RigL's ``T_end``: the raw stop iteration (not round-quantized)."""
         return max(1, int(self.total_iterations * self.stop_fraction))
 
     def update_fraction(self, iteration: int) -> float:
@@ -80,35 +81,33 @@ class RigLSNN(SparseTrainingMethod):
         return (self.alpha / 2.0) * (1.0 + math.cos(math.pi * iteration / self.horizon))
 
     def _is_update_step(self, iteration: int) -> bool:
+        # RigL freezes strictly *at* the horizon, unlike the ramp methods
+        # which still update on the horizon iteration itself.
         return (
             iteration > 0
             and iteration % self.update_frequency == 0
             and iteration < self.horizon
         )
 
-    def after_backward(self, iteration: int) -> None:
-        if self._is_update_step(iteration):
-            self._replace_connections(iteration)
-        self.masks.apply_to_gradients()
+    def begin_round(self, iteration: int) -> None:
+        self._round_fraction = self.update_fraction(iteration)
 
-    def _replace_connections(self, iteration: int) -> None:
-        fraction = self.update_fraction(iteration)
-        record = UpdateRecord(iteration=iteration, death_rate=fraction)
-        for name in self.masks.masks:
-            parameter = self.masks.parameters[name]
-            n_active = self.masks.nonzero_count(name)
-            count = int(fraction * n_active)
-            count = min(count, max(0, n_active - 1))
-            dropped = self.masks.drop_by_magnitude(name, count)
-            if parameter.grad is None:
-                raise RuntimeError("RigL growth requires gradients")
-            grown = self.masks.grow_by_score(name, dropped.size, np.abs(parameter.grad))
-            self._reset_momentum(name, grown)
-            record.dropped[name] = int(dropped.size)
-            record.grown[name] = int(grown.size)
-        self.masks.apply_masks()
-        record.sparsity_after = self.masks.sparsity()
-        self.history.append(record)
+    def round_death_rate(self, iteration: int) -> float:
+        return self._round_fraction
+
+    def drop_count(self, name: str, iteration: int) -> int:
+        n_active = self.masks.nonzero_count(name)
+        count = int(self._round_fraction * n_active)
+        return min(count, max(0, n_active - 1))
+
+    def grow_count(self, name: str, iteration: int, dropped: int) -> int:
+        return dropped
+
+    def growth_scores(self, name: str) -> np.ndarray:
+        parameter = self.masks.parameters[name]
+        if parameter.grad is None:
+            raise RuntimeError("RigL growth requires gradients")
+        return np.abs(parameter.grad)
 
     def __repr__(self) -> str:
         return f"RigLSNN(sparsity={self.target_sparsity}, alpha={self.alpha})"

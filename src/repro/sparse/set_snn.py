@@ -4,21 +4,22 @@ SET (Mocanu et al., Nature Communications 2018) keeps sparsity constant:
 every update round it drops a fixed fraction ``zeta`` of the smallest-
 magnitude active weights per layer and regrows the *same number* of
 connections at random inactive positions.
+
+A thin strategy over :class:`~repro.sparse.engine.DropGrowMethod`:
+drop ``zeta * n_active``, grow the same count at random.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, Optional
 
 import numpy as np
 
-from .base import SparseTrainingMethod
+from .engine import DropGrowMethod
 from .erk import build_distribution
-from .mask import MaskManager
-from .ndsnn import UpdateRecord
 
 
-class SETSNN(SparseTrainingMethod):
+class SETSNN(DropGrowMethod):
     """Constant-sparsity drop-and-grow with random regrowth.
 
     Parameters
@@ -42,29 +43,30 @@ class SETSNN(SparseTrainingMethod):
         distribution: str = "erk",
         rng: Optional[np.random.Generator] = None,
     ) -> None:
-        super().__init__()
         if not 0.0 <= sparsity < 1.0:
             raise ValueError(f"sparsity must be in [0, 1), got {sparsity}")
         if not 0.0 < prune_rate < 1.0:
             raise ValueError(f"prune_rate must be in (0, 1), got {prune_rate}")
+        super().__init__(
+            total_iterations=total_iterations,
+            update_frequency=update_frequency,
+            stop_fraction=stop_fraction,
+            distribution=distribution,
+            rng=rng,
+        )
         self.target_sparsity = float(sparsity)
-        self.total_iterations = int(total_iterations)
-        self.update_frequency = int(update_frequency)
         self.prune_rate = float(prune_rate)
-        self.stop_fraction = float(stop_fraction)
-        self.distribution = distribution
-        self._rng = rng
-        self.history: List[UpdateRecord] = []
 
-    def setup(self) -> None:
-        self.masks = MaskManager(self.model, rng=self._rng)
-        densities = build_distribution(
+    def initial_densities(self) -> Dict[str, float]:
+        return build_distribution(
             self.distribution, self.masks.shapes, 1.0 - self.target_sparsity
         )
-        self.masks.init_random(densities)
-        self.history = []
 
     def _is_update_step(self, iteration: int) -> bool:
+        # SET's historical horizon is the raw stop iteration, not the
+        # round-quantized (and min-one-round clamped) base-class one:
+        # with stop_fraction < update_frequency/total the topology must
+        # stay frozen for the whole run.
         horizon = int(self.total_iterations * self.stop_fraction)
         return (
             iteration > 0
@@ -73,25 +75,19 @@ class SETSNN(SparseTrainingMethod):
             and iteration < self.total_iterations
         )
 
-    def after_backward(self, iteration: int) -> None:
-        if self._is_update_step(iteration):
-            self._replace_connections(iteration)
-        self.masks.apply_to_gradients()
+    def round_death_rate(self, iteration: int) -> float:
+        return self.prune_rate
 
-    def _replace_connections(self, iteration: int) -> None:
-        record = UpdateRecord(iteration=iteration, death_rate=self.prune_rate)
-        for name in self.masks.masks:
-            n_active = self.masks.nonzero_count(name)
-            count = int(self.prune_rate * n_active)
-            count = min(count, max(0, n_active - 1))
-            dropped = self.masks.drop_by_magnitude(name, count)
-            grown = self.masks.grow_random(name, dropped.size)
-            self._reset_momentum(name, grown)
-            record.dropped[name] = int(dropped.size)
-            record.grown[name] = int(grown.size)
-        self.masks.apply_masks()
-        record.sparsity_after = self.masks.sparsity()
-        self.history.append(record)
+    def drop_count(self, name: str, iteration: int) -> int:
+        n_active = self.masks.nonzero_count(name)
+        count = int(self.prune_rate * n_active)
+        return min(count, max(0, n_active - 1))
+
+    def grow_count(self, name: str, iteration: int, dropped: int) -> int:
+        return dropped
+
+    def growth_scores(self, name: str) -> None:
+        return None  # random regrowth
 
     def __repr__(self) -> str:
         return f"SETSNN(sparsity={self.target_sparsity}, zeta={self.prune_rate})"

@@ -5,6 +5,10 @@ sensitivity ``|g * w|`` computed on one (or a few) mini-batches at
 initialization, keep the global top-k, and train under that fixed mask.
 A from-scratch static-sparsity point of comparison for NDSNN's dynamic
 topology: same train-time sparsity, no topology adaptation.
+
+A thin strategy over the sparsity engine: score accumulation lives
+here, the global top-k threshold and mask plumbing come from
+:class:`~repro.sparse.engine.SparsityManager`.
 """
 
 from __future__ import annotations
@@ -13,8 +17,7 @@ from typing import Optional
 
 import numpy as np
 
-from .base import SparseTrainingMethod
-from .mask import MaskManager
+from .engine import SparseTrainingMethod, SparsityManager
 
 
 class SNIPSNN(SparseTrainingMethod):
@@ -45,7 +48,7 @@ class SNIPSNN(SparseTrainingMethod):
         self._seen = 0
 
     def setup(self) -> None:
-        self.masks = MaskManager(self.model, rng=self._rng)
+        self.masks = SparsityManager(self.model, rng=self._rng)
         self._scores = {
             name: np.zeros(parameter.shape, dtype=np.float64)
             for name, parameter in self.masks.parameters.items()
@@ -67,18 +70,18 @@ class SNIPSNN(SparseTrainingMethod):
 
     def _prune_by_sensitivity(self) -> None:
         """Keep the global top-(1 - sparsity) fraction by |g*w|."""
-        all_scores = np.concatenate([s.reshape(-1) for s in self._scores.values()])
-        total = all_scores.size
-        keep = max(1, int(round((1.0 - self.target_sparsity) * total)))
-        threshold = np.partition(all_scores, total - keep)[total - keep]
-        for name, parameter in self.masks.parameters.items():
+        threshold = self.masks.global_magnitude_threshold(
+            self.target_sparsity, scores=self._scores
+        )
+        for name, state in self.masks.states.items():
             mask = (self._scores[name] >= threshold).astype(np.float32)
             if mask.sum() == 0:
                 # Guarantee at least one connection per layer.
                 best = np.unravel_index(self._scores[name].argmax(), mask.shape)
                 mask[best] = 1.0
-            self.masks.set_mask(name, mask)
+            state.set_mask(mask)
         self.masks.apply_masks()
+        self._record_mask_update()
 
     def sparsity(self) -> float:
         if not self._calibrated:

@@ -1,4 +1,4 @@
-"""Compressed sparse row (CSR) storage for weight tensors.
+"""Compressed sparse row (CSR) storage and compute kernels.
 
 Section III-D of the paper counts training memory assuming CSR storage
 of the sparse weight matrices (one column index per non-zero plus one
@@ -6,14 +6,30 @@ row pointer per filter row).  This module provides an actual CSR
 implementation so the footprint model is backed by working code: 4-D
 convolution filters are stored as ``(F, C*kh*kw)`` matrices, matching
 the paper's reshaping convention.
+
+Beyond storage, :class:`CSRPattern` is the compute side of the CSR
+fast path: it caches the index structure of a *mask* (which only
+changes at drop-and-grow rounds) separately from the weight *values*
+(which change every optimizer step), and exposes the two products the
+training step needs — ``W @ X`` for the forward pass and ``W^T @ G``
+for the input gradient.  SciPy's sparse kernels are used when present;
+a vectorized ``reduceat``-based pure-numpy fallback keeps the path
+alive without the dependency.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
+
+try:  # pragma: no cover - exercised implicitly by the kernel tests
+    from scipy import sparse as _scipy_sparse
+except ImportError:  # pragma: no cover
+    _scipy_sparse = None
+
+HAVE_SCIPY = _scipy_sparse is not None
 
 
 @dataclass
@@ -103,23 +119,122 @@ def csr_encode(tensor: np.ndarray) -> CSRMatrix:
     """Encode a (possibly 4-D) weight tensor as CSR."""
     matrix, shape = _as_matrix(np.asarray(tensor))
     rows, _ = shape
-    data_chunks = []
-    index_chunks = []
+    # np.nonzero scans row-major, which is exactly CSR data order.
+    row_idx, col_idx = np.nonzero(matrix)
     indptr = np.zeros(rows + 1, dtype=np.int64)
-    for row in range(rows):
-        nonzero = np.flatnonzero(matrix[row])
-        data_chunks.append(matrix[row, nonzero])
-        index_chunks.append(nonzero)
-        indptr[row + 1] = indptr[row] + nonzero.size
-    data = np.concatenate(data_chunks) if data_chunks else np.empty(0, dtype=matrix.dtype)
-    indices = np.concatenate(index_chunks) if index_chunks else np.empty(0, dtype=np.int64)
+    np.cumsum(np.bincount(row_idx, minlength=rows), out=indptr[1:])
     return CSRMatrix(
-        data=data.astype(matrix.dtype),
-        indices=indices.astype(np.int64),
+        data=matrix[row_idx, col_idx].astype(matrix.dtype),
+        indices=col_idx.astype(np.int64),
         indptr=indptr,
         shape=shape,
         orig_shape=tuple(np.asarray(tensor).shape),
     )
+
+
+class CSRPattern:
+    """Cached CSR index structure of a binary mask.
+
+    The pattern (column indices + row pointers + flat gather indices)
+    is built once per topology change; weight values are re-gathered on
+    every kernel call since they move at each optimizer step.  With
+    SciPy present the gather writes straight into a cached
+    ``csr_matrix`` whose transpose view shares the same data buffer, so
+    forward and input-gradient products both run at sparse cost from a
+    single refresh.
+    """
+
+    __slots__ = ("shape", "orig_shape", "indices", "indptr", "flat_index", "nnz",
+                 "_sp", "_sp_t", "_row_of_nz")
+
+    def __init__(self, mask: np.ndarray) -> None:
+        matrix, shape = _as_matrix(np.asarray(mask))
+        row_idx, col_idx = np.nonzero(matrix)
+        rows, cols = shape
+        self.shape = shape
+        self.orig_shape = tuple(np.asarray(mask).shape)
+        self.indices = col_idx.astype(np.int32)
+        self.indptr = np.zeros(rows + 1, dtype=np.int32)
+        np.cumsum(np.bincount(row_idx, minlength=rows), out=self.indptr[1:])
+        self.flat_index = (row_idx * cols + col_idx).astype(np.int64)
+        self.nnz = int(self.flat_index.size)
+        self._sp = None
+        self._sp_t = None
+        self._row_of_nz: Optional[np.ndarray] = None
+
+    @classmethod
+    def from_mask(cls, mask: np.ndarray) -> "CSRPattern":
+        return cls(mask)
+
+    @property
+    def density(self) -> float:
+        total = self.shape[0] * self.shape[1]
+        return self.nnz / total if total else 0.0
+
+    # ------------------------------------------------------------------
+    # Value refresh
+    # ------------------------------------------------------------------
+    def gather(self, weight: np.ndarray) -> np.ndarray:
+        """Pull the active weight values in CSR order.
+
+        With SciPy, the values land in the cached matrix's data buffer
+        (no extra copy) and the same array is returned.
+        """
+        flat = np.ascontiguousarray(weight).reshape(-1)
+        if HAVE_SCIPY:
+            sp = self._scipy_matrix(flat.dtype)
+            np.take(flat, self.flat_index, out=sp.data)
+            return sp.data
+        return np.take(flat, self.flat_index)
+
+    def _scipy_matrix(self, dtype):
+        if self._sp is None or self._sp.data.dtype != dtype:
+            data = np.empty(self.nnz, dtype=dtype)
+            self._sp = _scipy_sparse.csr_matrix(
+                (data, self.indices, self.indptr), shape=self.shape
+            )
+            # Transpose view shares the data buffer: one gather feeds
+            # both the forward and the transposed product.
+            self._sp_t = self._sp.T
+        return self._sp
+
+    # ------------------------------------------------------------------
+    # Kernels
+    # ------------------------------------------------------------------
+    def matmul(self, data: np.ndarray, dense: np.ndarray) -> np.ndarray:
+        """``W @ dense`` where ``W`` is this pattern with ``data`` values.
+
+        ``dense`` has shape ``(cols, m)``; returns ``(rows, m)``.
+        """
+        if HAVE_SCIPY:
+            sp = self._scipy_matrix(data.dtype)
+            if sp.data is not data:
+                sp.data[:] = data
+            return np.asarray(sp @ dense)
+        prod = data[:, None] * dense[self.indices]
+        out = np.zeros((self.shape[0], dense.shape[1]), dtype=prod.dtype)
+        counts = np.diff(self.indptr)
+        nonempty = counts > 0
+        if prod.size:
+            out[nonempty] = np.add.reduceat(prod, self.indptr[:-1][nonempty], axis=0)
+        return out
+
+    def t_matmul(self, data: np.ndarray, dense: np.ndarray) -> np.ndarray:
+        """``W^T @ dense``; ``dense`` is ``(rows, m)``, returns ``(cols, m)``."""
+        if HAVE_SCIPY:
+            sp = self._scipy_matrix(data.dtype)
+            if sp.data is not data:
+                sp.data[:] = data
+            return np.asarray(self._sp_t @ dense)
+        if self._row_of_nz is None:
+            self._row_of_nz = np.repeat(
+                np.arange(self.shape[0]), np.diff(self.indptr)
+            ).astype(np.int64)
+        out = np.zeros((self.shape[1], dense.shape[1]),
+                       dtype=np.result_type(data, dense))
+        np.add.at(out, self.indices.astype(np.int64),
+                  data[:, None] * dense[self._row_of_nz])
+        return out
 
 
 def csr_decode(matrix: CSRMatrix) -> np.ndarray:

@@ -14,8 +14,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from .base import SparseTrainingMethod
-from .mask import MaskManager
+from .engine import SparseTrainingMethod, SparsityManager
 from .schedule import SparsityRamp
 
 
@@ -69,7 +68,7 @@ class StructuredFilterPruning(SparseTrainingMethod):
     def setup(self) -> None:
         if self.update_frequency >= self.total_iterations:
             self.update_frequency = max(1, self.total_iterations - 1)
-        self.masks = MaskManager(self.model, rng=self._rng)
+        self.masks = SparsityManager(self.model, rng=self._rng)
         num_rounds = max(1, self.total_iterations // self.update_frequency)
         self.ramp = SparsityRamp(
             0.0,
@@ -112,11 +111,13 @@ class StructuredFilterPruning(SparseTrainingMethod):
             norms = filter_norms(parameter.data)
             norms[self.pruned_filters[name]] = np.inf  # never re-rank dead filters
             victims = np.argsort(norms)[:extra]
-            mask = self.masks.masks[name]
+            state = self.masks.states[name]
             for victim in victims:
-                mask[victim] = 0.0
+                state.mask[victim] = 0.0
                 self.pruned_filters[name].append(int(victim))
+            state.touch()
         self.masks.apply_masks()
+        self._record_mask_update()
 
     def filter_sparsity(self) -> Dict[str, float]:
         """Fraction of filters removed per layer."""

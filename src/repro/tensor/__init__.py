@@ -8,9 +8,12 @@ to train convolutional spiking neural networks with BPTT.
 from .tensor import Tensor, concatenate, is_grad_enabled, no_grad, stack, where
 from .conv import avg_pool2d, col2im, conv2d, conv_output_shape, im2col, max_pool2d
 from .functional import (
+    DISPATCH_COUNTS,
     accuracy,
     cross_entropy,
     log_softmax,
+    masked_conv2d,
+    masked_linear,
     mse_loss,
     nll_loss,
     one_hot,
@@ -34,6 +37,9 @@ __all__ = [
     "log_softmax",
     "softmax",
     "cross_entropy",
+    "masked_linear",
+    "masked_conv2d",
+    "DISPATCH_COUNTS",
     "mse_loss",
     "nll_loss",
     "accuracy",

@@ -1,10 +1,138 @@
-"""Loss functions and classification helpers on :class:`Tensor`."""
+"""Loss functions, classification helpers and the sparse op dispatch.
+
+Besides the losses, this module hosts the dense-vs-CSR dispatch shim
+for masked layers: :func:`masked_linear` and :func:`masked_conv2d`
+inspect the layer's :class:`~repro.sparse.engine.MaskedParameter`
+state (if any) and route the computation through the CSR kernels when
+the owning :class:`~repro.sparse.engine.SparsityManager` decides the
+measured density warrants it.  The dense route is byte-identical to
+the historical layer forward, so masked and unmasked models share one
+code path.
+
+Gradient parity: the CSR route computes the *weight* gradient densely
+(the drop-and-grow methods score regrowth by dense gradient magnitude,
+so sparsifying it would change the algorithm) while the forward product
+and the input gradient run at sparse cost.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
+from .conv import col2im, conv_output_shape, im2col
 from .tensor import Tensor, is_grad_enabled
+
+#: Dispatch counters (reset freely in tests/benches): how many forward
+#: calls took each route since process start.
+DISPATCH_COUNTS = {"dense": 0, "csr": 0}
+
+
+def _use_csr(state) -> bool:
+    if state is None or getattr(state, "manager", None) is None:
+        return False
+    return state.manager.use_csr(state)
+
+
+def masked_linear(x: Tensor, weight: Tensor, bias: Tensor = None, state=None) -> Tensor:
+    """``y = x W^T + b`` with density-based dense/CSR dispatch.
+
+    ``state`` is the layer's :class:`MaskedParameter` (or ``None`` for
+    an unmasked layer); the dense route reproduces the historical
+    ``Linear.forward`` exactly.
+    """
+    if not _use_csr(state):
+        DISPATCH_COUNTS["dense"] += 1
+        out = x.matmul(weight.T)
+        if bias is not None:
+            out = out + bias
+        return out
+    DISPATCH_COUNTS["csr"] += 1
+    pattern = state.csr_pattern()
+    data = pattern.gather(weight.data)
+    out_data = pattern.matmul(data, x.data.T).T
+    if bias is not None:
+        out_data = out_data + bias.data
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    requires = is_grad_enabled() and any(p.requires_grad for p in parents)
+    out = Tensor(out_data, requires_grad=requires,
+                 _prev=parents if requires else (), _op="masked_linear")
+
+    def backward(grad: np.ndarray) -> None:
+        if weight.requires_grad:
+            # Dense weight gradient: regrowth criteria need scores at
+            # *inactive* positions too (exact parity with the dense path).
+            weight._accumulate(grad.T @ x.data)
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad.sum(axis=0))
+        if x.requires_grad:
+            x._accumulate(pattern.t_matmul(data, grad.T).T)
+
+    out._backward = backward
+    return out
+
+
+def masked_conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor = None,
+    stride: int = 1,
+    padding: int = 0,
+    state=None,
+) -> Tensor:
+    """2-D convolution with density-based dense/CSR dispatch.
+
+    The CSR route lowers the input with im2col exactly like the dense
+    kernel, then multiplies the ``(F, C*kh*kw)`` filter matrix in CSR
+    form.
+    """
+    if not _use_csr(state):
+        DISPATCH_COUNTS["dense"] += 1
+        from .conv import conv2d
+
+        return conv2d(x, weight, bias, stride=stride, padding=padding)
+    DISPATCH_COUNTS["csr"] += 1
+
+    stride_p = (int(stride), int(stride)) if isinstance(stride, int) else tuple(stride)
+    padding_p = (int(padding), int(padding)) if isinstance(padding, int) else tuple(padding)
+    n, c, h, w = x.shape
+    f, c_w, kh, kw = weight.shape
+    if c != c_w:
+        raise ValueError(f"input channels {c} do not match weight channels {c_w}")
+    out_h = conv_output_shape(h, kh, stride_p[0], padding_p[0])
+    out_w = conv_output_shape(w, kw, stride_p[1], padding_p[1])
+
+    cols = im2col(x.data, (kh, kw), stride_p, padding_p)  # (N, K, L)
+    k = cols.shape[1]
+    length = cols.shape[2]
+    cols_mat = cols.transpose(1, 0, 2).reshape(k, n * length)
+    pattern = state.csr_pattern()
+    data = pattern.gather(weight.data)
+    out_mat = pattern.matmul(data, cols_mat)  # (F, N*L)
+    out_data = out_mat.reshape(f, n, length).transpose(1, 0, 2).reshape(n, f, out_h, out_w)
+    if bias is not None:
+        out_data = out_data + bias.data.reshape(1, f, 1, 1)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    requires = is_grad_enabled() and any(p.requires_grad for p in parents)
+    out = Tensor(out_data, requires_grad=requires,
+                 _prev=parents if requires else (), _op="masked_conv2d")
+
+    def backward(grad: np.ndarray) -> None:
+        grad_mat = grad.reshape(n, f, length)
+        if weight.requires_grad:
+            grad_w = np.einsum("nfl,nkl->fk", grad_mat, cols, optimize=True)
+            weight._accumulate(grad_w.reshape(weight.shape))
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad.sum(axis=(0, 2, 3)))
+        if x.requires_grad:
+            grad_flat = grad_mat.transpose(1, 0, 2).reshape(f, n * length)
+            grad_cols = pattern.t_matmul(data, grad_flat)  # (K, N*L)
+            grad_cols = grad_cols.reshape(k, n, length).transpose(1, 0, 2)
+            x._accumulate(col2im(grad_cols, (n, c, h, w), (kh, kw), stride_p, padding_p))
+
+    out._backward = backward
+    return out
 
 
 def log_softmax(logits: Tensor, axis: int = -1) -> Tensor:

@@ -1,7 +1,15 @@
-"""Training harness: trainer, metrics, cost and memory models."""
+"""Training harness: hook-based trainer, metrics, cost/memory models."""
 
 from .checkpoint import load_checkpoint, save_checkpoint
+from .hooks import (
+    CallbackList,
+    ConsoleLogger,
+    MethodCallback,
+    TopologyAudit,
+    TrainerCallback,
+)
 from .faults import (
+    FaultInjectionCallback,
     inject_bit_flips,
     inject_dead_neurons,
     inject_weight_dropout,
@@ -10,6 +18,7 @@ from .faults import (
 )
 from .logging import read_history_csv, write_history_csv, write_history_json
 from .cost import (
+    CostAccountingCallback,
     CostBreakdown,
     dense_reference_cost,
     epoch_costs,
@@ -30,6 +39,13 @@ from .trainer import EpochStats, Trainer, TrainingResult
 
 __all__ = [
     "save_checkpoint",
+    "TrainerCallback",
+    "CallbackList",
+    "MethodCallback",
+    "ConsoleLogger",
+    "TopologyAudit",
+    "FaultInjectionCallback",
+    "CostAccountingCallback",
     "inject_weight_noise",
     "inject_weight_dropout",
     "inject_bit_flips",

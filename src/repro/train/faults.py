@@ -12,12 +12,13 @@ dict so experiments can restore the pristine weights.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 import numpy as np
 
 from ..nn.module import Module
 from ..sparse.mask import sparsifiable_parameters
+from .hooks import TrainerCallback
 
 
 def _snapshot(model: Module) -> Dict[str, np.ndarray]:
@@ -102,6 +103,55 @@ def inject_bit_flips(
         as_int = flat[victims].view(np.uint32)
         flat[victims] = (as_int ^ np.uint32(1 << bit)).view(np.float32)
     return snapshot
+
+
+class FaultInjectionCallback(TrainerCallback):
+    """Applies a fault injector on a per-epoch schedule during training.
+
+    Models persistent or transient hardware imperfection while the
+    model trains (e.g. analog drift between write cycles).  The
+    ``injector`` is any of this module's ``inject_*`` functions,
+    partially applied to its severity knobs.
+
+    Parameters
+    ----------
+    injector:
+        ``model -> snapshot`` callable; the returned snapshot is kept
+        so transient faults can be undone.
+    every:
+        Inject at the start of every ``every``-th epoch (1 = each).
+    transient:
+        If True, the pristine weights are restored at the end of the
+        epoch — the fault only perturbs one epoch's updates.
+    """
+
+    def __init__(
+        self,
+        injector: Callable[[Module], Dict[str, np.ndarray]],
+        every: int = 1,
+        transient: bool = False,
+    ) -> None:
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        self.injector = injector
+        self.every = int(every)
+        self.transient = transient
+        self.injections = 0
+        self._snapshot: Optional[Dict[str, np.ndarray]] = None
+
+    def on_epoch_start(self, trainer, epoch: int) -> None:
+        if epoch % self.every != 0:
+            return
+        self._snapshot = self.injector(trainer.model)
+        self.injections += 1
+        # Masked positions must stay dead even under fault perturbation.
+        if trainer.method.masks is not None:
+            trainer.method.masks.apply_masks()
+
+    def on_epoch_end(self, trainer, epoch: int, stats) -> None:
+        if self.transient and self._snapshot is not None:
+            restore(trainer.model, self._snapshot)
+            self._snapshot = None
 
 
 def inject_dead_neurons(

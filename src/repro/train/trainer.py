@@ -1,15 +1,21 @@
 """Training loop for sparse spiking networks.
 
-The :class:`Trainer` wires together a spiking model, a sparse-training
-method (NDSNN or a baseline), the optimizer and the data loaders, and
-records per-epoch statistics — including the spike rate and density
-traces that feed the paper's Section IV-C training-cost model.
+The :class:`Trainer` is a hook pipeline: the loop itself only moves
+batches, runs backward, and steps the optimizer.  The sparse-training
+method, cost accounting, fault injection, logging and any custom
+instrumentation attach as :class:`~repro.train.hooks.TrainerCallback`
+objects; the method is adapted automatically through
+:class:`~repro.train.hooks.MethodCallback`.
+
+Per-epoch statistics — including the spike rate and density traces that
+feed the paper's Section IV-C training-cost model — are recorded by the
+trainer core since every consumer needs them.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
@@ -18,6 +24,7 @@ from ..optim import LRScheduler, Optimizer
 from ..snn.functional import reset_spike_stats, spike_rate
 from ..sparse.base import SparseTrainingMethod
 from ..tensor import Tensor, cross_entropy
+from .hooks import CallbackList, ConsoleLogger, MethodCallback, TrainerCallback
 from .metrics import AverageMeter, evaluate
 
 
@@ -81,13 +88,18 @@ class Trainer:
     ----------
     model, method, optimizer:
         The method is bound to the model/optimizer pair at construction
-        (mask initialisation happens here).
+        (mask initialisation happens here) and attached to the hook
+        pipeline as its first callback.
     train_loader / test_loader:
         Mini-batch iterables of ``(Tensor images, labels)``.
     scheduler:
         Optional LR scheduler stepped once per epoch.
     loss_fn:
         Defaults to cross-entropy on the temporal-mean logits.
+    callbacks:
+        Extra :class:`TrainerCallback` objects (cost accounting, fault
+        injection, custom logging, ...) run after the method callback
+        in registration order.
     """
 
     def __init__(
@@ -100,6 +112,7 @@ class Trainer:
         scheduler: Optional[LRScheduler] = None,
         loss_fn: Callable[[Tensor, np.ndarray], Tensor] = cross_entropy,
         grad_clip: Optional[float] = None,
+        callbacks: Optional[Sequence[TrainerCallback]] = None,
     ) -> None:
         self.model = model
         self.method = method
@@ -110,7 +123,15 @@ class Trainer:
         self.loss_fn = loss_fn
         self.grad_clip = grad_clip
         self.iteration = 0
+        self.callbacks = CallbackList([MethodCallback(method)])
+        for callback in callbacks or ():
+            self.callbacks.append(callback)
         method.bind(model, optimizer)
+
+    def add_callback(self, callback: TrainerCallback) -> "Trainer":
+        """Register one more callback (chainable)."""
+        self.callbacks.append(callback)
+        return self
 
     # ------------------------------------------------------------------
     def _clip_gradients(self) -> None:
@@ -131,9 +152,9 @@ class Trainer:
             self.optimizer.zero_grad()
             loss.backward()
             self._clip_gradients()
-            self.method.after_backward(self.iteration)
+            self.callbacks.fire("after_backward", self, self.iteration)
             self.optimizer.step()
-            self.method.after_step(self.iteration)
+            self.callbacks.fire("on_step_end", self, self.iteration)
             self.iteration += 1
 
             batch = len(labels)
@@ -144,9 +165,12 @@ class Trainer:
 
     def fit(self, epochs: int, verbose: bool = False) -> TrainingResult:
         """Train for ``epochs`` epochs, recording per-epoch statistics."""
+        if verbose and not any(isinstance(c, ConsoleLogger) for c in self.callbacks):
+            self.callbacks.append(ConsoleLogger())
         result = TrainingResult()
+        self.callbacks.fire("on_train_begin", self, epochs)
         for epoch in range(epochs):
-            self.method.on_epoch_begin(epoch)
+            self.callbacks.fire("on_epoch_start", self, epoch)
             reset_spike_stats(self.model)
             train_loss, train_accuracy = self.train_epoch()
             epoch_spike_rate = spike_rate(self.model)
@@ -155,7 +179,6 @@ class Trainer:
             test_accuracy = (
                 evaluate(self.model, self.test_loader) if self.test_loader is not None else 0.0
             )
-            self.method.on_epoch_end(epoch)
             stats = EpochStats(
                 epoch=epoch,
                 train_loss=train_loss,
@@ -167,10 +190,6 @@ class Trainer:
                 learning_rate=self.optimizer.lr,
             )
             result.history.append(stats)
-            if verbose:
-                print(
-                    f"epoch {epoch:3d}  loss {train_loss:.4f}  "
-                    f"train {train_accuracy:.3f}  test {test_accuracy:.3f}  "
-                    f"sparsity {stats.sparsity:.3f}  spikes {epoch_spike_rate:.3f}"
-                )
+            self.callbacks.fire("on_epoch_end", self, epoch, stats)
+        self.callbacks.fire("on_train_end", self, result)
         return result

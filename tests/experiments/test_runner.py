@@ -12,7 +12,9 @@ from repro.experiments import (
     run_experiment,
     run_lth_experiment,
     run_method,
+    run_sweep,
     scaled_config,
+    sweep_configs,
 )
 from repro.sparse import ADMMPruner, DenseMethod, NDSNN, RigLSNN, SETSNN
 
@@ -105,3 +107,65 @@ class TestRunners:
         first = run_experiment(config)
         second = run_experiment(config)
         assert first.final_accuracy == second.final_accuracy
+
+    def test_csr_execution_reaches_same_sparsity(self):
+        config = scaled_config("cifar10", "convnet", "ndsnn", 0.9, **FAST,
+                               initial_sparsity=0.5, update_frequency=2)
+        dense = run_experiment(config)
+        auto = run_experiment(config.scaled(execution="auto"))
+        assert auto.final_sparsity == pytest.approx(dense.final_sparsity, abs=1e-6)
+
+
+class TestLoaderRngIsolation:
+    def test_augmentation_does_not_perturb_shuffle_stream(self):
+        config = scaled_config("cifar10", "convnet", "dense", 0.9, **FAST)
+
+        def label_epochs(augment, epochs=2):
+            train_loader, _, _ = build_loaders(config, augment=augment)
+            return [
+                np.concatenate([labels for _, labels in train_loader])
+                for _ in range(epochs)
+            ]
+
+        plain = label_epochs(augment=False)
+        augmented = label_epochs(augment=True)
+        # The shuffle order must be identical in *every* epoch even
+        # though augmentation consumes randomness between batches.
+        for epoch_plain, epoch_augmented in zip(plain, augmented):
+            np.testing.assert_array_equal(epoch_plain, epoch_augmented)
+
+    def test_different_seeds_shuffle_differently(self):
+        config = scaled_config("cifar10", "convnet", "dense", 0.9, **FAST)
+        loader_a, _, _ = build_loaders(config)
+        loader_b, _, _ = build_loaders(config.scaled(seed=99))
+        labels_a = np.concatenate([labels for _, labels in loader_a])
+        labels_b = np.concatenate([labels for _, labels in loader_b])
+        assert not np.array_equal(labels_a, labels_b)
+
+
+class TestSweep:
+    def test_sweep_configs_cross_grid(self):
+        base = scaled_config("cifar10", "convnet", "ndsnn", 0.9, **FAST)
+        configs = sweep_configs(base, ["ndsnn", "set"], sparsities=[0.8, 0.9])
+        assert len(configs) == 4
+        assert {(c.method, c.sparsity) for c in configs} == {
+            ("ndsnn", 0.8), ("ndsnn", 0.9), ("set", 0.8), ("set", 0.9),
+        }
+
+    @pytest.mark.smoke
+    def test_sequential_sweep_preserves_order(self):
+        base = scaled_config("cifar10", "convnet", "dense", 0.9, **FAST)
+        configs = sweep_configs(base, ["dense", "ndsnn"])
+        outcomes = run_sweep(configs, jobs=1)
+        assert [o.config.method for o in outcomes] == ["dense", "ndsnn"]
+        assert outcomes[0].final_sparsity == 0.0
+        assert outcomes[1].final_sparsity > 0.5
+
+    def test_parallel_sweep_matches_sequential(self):
+        base = scaled_config("cifar10", "convnet", "ndsnn", 0.9, **FAST)
+        configs = sweep_configs(base, ["ndsnn", "set"])
+        sequential = run_sweep(configs, jobs=1)
+        parallel = run_sweep(configs, jobs=2)
+        for seq, par in zip(sequential, parallel):
+            assert seq.final_accuracy == par.final_accuracy
+            assert seq.final_sparsity == par.final_sparsity

@@ -55,3 +55,50 @@ class TestRun:
     def test_rejects_unknown_method(self):
         with pytest.raises(SystemExit):
             main(["run", "--method", "magic"])
+
+    @pytest.mark.smoke
+    def test_csr_execution_run(self, capsys):
+        code = main([
+            "run", "--dataset", "cifar10", "--model", "convnet",
+            "--method", "ndsnn", "--sparsity", "0.9", "--epochs", "1",
+            "--train-samples", "32", "--test-samples", "16",
+            "--timesteps", "2", "--image-size", "8",
+            "--update-frequency", "1", "--execution", "auto", "--quiet",
+        ])
+        assert code == 0
+        assert "ndsnn" in capsys.readouterr().out
+
+
+FAST_SWEEP = [
+    "--epochs", "1", "--train-samples", "32", "--test-samples", "16",
+    "--timesteps", "2", "--image-size", "8", "--model", "convnet",
+    "--update-frequency", "1",
+]
+
+
+class TestSweep:
+    @pytest.mark.smoke
+    def test_two_method_sweep_writes_json(self, tmp_path, capsys):
+        out_path = tmp_path / "sweep.json"
+        code = main([
+            "sweep", "--method", "dense", "--method", "ndsnn",
+            *FAST_SWEEP, "--out", str(out_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sweep over 2 runs" in out
+        payload = json.loads(out_path.read_text())
+        assert [entry["method"] for entry in payload] == ["dense", "ndsnn"]
+        assert all(0.0 <= entry["final_accuracy"] <= 1.0 for entry in payload)
+
+    def test_parallel_jobs_sweep(self, capsys):
+        code = main([
+            "sweep", "--method", "dense", "--method", "set",
+            "--jobs", "2", *FAST_SWEEP,
+        ])
+        assert code == 0
+        assert "jobs=2" in capsys.readouterr().out
+
+    def test_rejects_unknown_sweep_method(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--method", "magic"])

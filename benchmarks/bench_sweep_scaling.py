@@ -1,0 +1,121 @@
+"""Sweep-scaling benchmark: local pool vs the durable queue backend.
+
+Times one method-grid sweep at several worker counts for both sweep
+backends, and re-verifies at every cell that the results are
+bit-identical to the sequential single-process reference — the
+guarantee the queue backend must preserve while adding durability.
+
+Emits ``BENCH_sweep.json``::
+
+    PYTHONPATH=src python benchmarks/bench_sweep_scaling.py --out BENCH_sweep.json
+
+The default grid is 8 configs (4 methods x 2 sparsities) at the quick
+CPU profile; ``--epochs``/``--train-samples`` scale the per-job cost so
+the parallel speedup is visible above process-startup overhead.
+"""
+
+import argparse
+import json
+import os
+import time
+
+from repro.experiments import run_sweep, scaled_config, sweep_configs
+
+METHODS = ("ndsnn", "set", "rigl", "gmp")
+SPARSITIES = (0.9, 0.95)
+
+
+def build_grid(epochs: int, train_samples: int):
+    base = scaled_config(
+        "cifar10", "convnet", METHODS[0], SPARSITIES[0],
+        epochs=epochs, train_samples=train_samples,
+        test_samples=max(16, train_samples // 4),
+        timesteps=2, batch_size=16, update_frequency=4,
+    )
+    return sweep_configs(base, list(METHODS), sparsities=list(SPARSITIES))
+
+
+def outcome_fingerprint(outcome):
+    return (
+        outcome.config.method,
+        outcome.config.sparsity,
+        outcome.final_accuracy,
+        outcome.best_accuracy,
+        outcome.final_sparsity,
+        tuple(tuple(sorted(stats.as_dict().items())) for stats in outcome.history),
+    )
+
+
+def time_sweep(configs, backend: str, jobs: int):
+    start = time.perf_counter()
+    outcomes = run_sweep(configs, jobs=jobs, backend=backend)
+    return time.perf_counter() - start, outcomes
+
+
+def run_scaling(epochs: int, train_samples: int, worker_counts):
+    configs = build_grid(epochs, train_samples)
+    reference_seconds, reference = time_sweep(configs, "local", jobs=1)
+    reference_prints = [outcome_fingerprint(outcome) for outcome in reference]
+    cells = []
+    for backend in ("local", "queue"):
+        for jobs in worker_counts:
+            if backend == "local" and jobs == 1:
+                seconds, identical = reference_seconds, True
+            else:
+                seconds, outcomes = time_sweep(configs, backend, jobs)
+                identical = [
+                    outcome_fingerprint(outcome) for outcome in outcomes
+                ] == reference_prints
+            cells.append(
+                {
+                    "backend": backend,
+                    "jobs": jobs,
+                    "seconds": seconds,
+                    "speedup_vs_sequential": reference_seconds / seconds,
+                    "bit_identical": identical,
+                }
+            )
+    queue_cells = [c for c in cells if c["backend"] == "queue"]
+    return {
+        "bench": "sweep_scaling_local_vs_queue",
+        # Worker counts beyond the core count only add overhead, so the
+        # speedup columns are meaningful relative to this.
+        "cpu_count": os.cpu_count(),
+        "grid_configs": len(configs),
+        "methods": list(METHODS),
+        "sparsities": list(SPARSITIES),
+        "epochs": epochs,
+        "train_samples": train_samples,
+        "sequential_seconds": reference_seconds,
+        "cells": cells,
+        "all_bit_identical": all(c["bit_identical"] for c in cells),
+        "best_queue_speedup": max(c["speedup_vs_sequential"] for c in queue_cells),
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description="sweep backend scaling comparison")
+    parser.add_argument("--out", default="BENCH_sweep.json")
+    parser.add_argument("--epochs", type=int, default=3)
+    parser.add_argument("--train-samples", type=int, default=128)
+    parser.add_argument("--workers", type=int, nargs="+", default=[1, 2, 4])
+    args = parser.parse_args(argv)
+    payload = run_scaling(args.epochs, args.train_samples, args.workers)
+    for cell in payload["cells"]:
+        print(
+            f"{cell['backend']:>5s} jobs={cell['jobs']}: "
+            f"{cell['seconds']:6.2f}s  "
+            f"({cell['speedup_vs_sequential']:.2f}x vs sequential, "
+            f"bit-identical: {cell['bit_identical']})"
+        )
+    print(f"best queue-backend speedup: {payload['best_queue_speedup']:.2f}x")
+    if not payload["all_bit_identical"]:
+        print("WARNING: backend results diverged from the sequential reference")
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2)
+    print(f"wrote {args.out}")
+    return 0 if payload["all_bit_identical"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

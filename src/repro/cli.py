@@ -12,6 +12,14 @@ Sweep several methods across worker processes::
     python -m repro sweep --method ndsnn --method set --method rigl \
         --jobs 4 --epochs 2 --out sweep.json
 
+Shard the same sweep through a durable spool directory (any number of
+extra workers — on this host or on others sharing the filesystem — can
+join with ``repro worker``)::
+
+    python -m repro sweep --backend queue --spool /shared/spool --jobs 2
+    python -m repro worker --spool /shared/spool          # second terminal
+    python -m repro sweep-status --spool /shared/spool    # progress
+
 List the available models/methods/datasets::
 
     python -m repro list
@@ -29,6 +37,13 @@ from typing import List, Optional
 
 from .data import DATASET_SPECS
 from .experiments import run_method, run_sweep, scaled_config, sweep_configs
+from .experiments.queue import (
+    DEFAULT_BACKOFF_SECONDS,
+    DEFAULT_LEASE_SECONDS,
+    DEFAULT_MAX_ATTEMPTS,
+    JobQueue,
+    QueueWorker,
+)
 from .experiments.tables import format_table
 from .snn.models import MODEL_REGISTRY, build_model
 from .sparse.engine import EXECUTION_MODES
@@ -72,6 +87,32 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--method", default="ndsnn", choices=METHOD_CHOICES)
     run.add_argument("--quiet", action="store_true")
 
+    def add_queue_arguments(parser: argparse.ArgumentParser, spool_required: bool) -> None:
+        # Defaults are applied in _queue_params, not here, so the sweep
+        # command can tell "flag passed" from "default" and reject queue
+        # flags when the backend is local.
+        parser.add_argument(
+            "--spool", required=spool_required, default=None,
+            help="spool directory of the durable job queue (shared "
+                 "across hosts for multi-host sweeps)",
+        )
+        parser.add_argument(
+            "--lease-seconds", type=float, default=None,
+            help="heartbeat lease: a claimed job whose worker stops "
+                 f"renewing for this long is re-queued "
+                 f"(default {DEFAULT_LEASE_SECONDS:g})",
+        )
+        parser.add_argument(
+            "--max-attempts", type=int, default=None,
+            help=f"attempts per job before it lands in failed/ "
+                 f"(default {DEFAULT_MAX_ATTEMPTS})",
+        )
+        parser.add_argument(
+            "--backoff-seconds", type=float, default=None,
+            help="base of the exponential retry backoff "
+                 f"(default {DEFAULT_BACKOFF_SECONDS:g})",
+        )
+
     sweep = commands.add_parser(
         "sweep", help="train several methods, optionally across processes"
     )
@@ -83,6 +124,46 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--jobs", type=int, default=1,
         help="worker processes for the sweep (1 = sequential)",
+    )
+    sweep.add_argument(
+        "--backend", default="local", choices=("local", "queue"),
+        help="local = in-process pool; queue = durable spool-directory "
+             "job queue (crash-safe, joinable from other hosts)",
+    )
+    add_queue_arguments(sweep, spool_required=False)
+
+    def positive_int(value: str) -> int:
+        parsed = int(value)
+        if parsed < 1:
+            raise argparse.ArgumentTypeError(f"must be >= 1, got {parsed}")
+        return parsed
+
+    worker = commands.add_parser(
+        "worker", help="drain jobs from a sweep spool until it is empty"
+    )
+    add_queue_arguments(worker, spool_required=True)
+    worker.add_argument(
+        "--max-jobs", type=positive_int, default=None,
+        help="stop after processing this many jobs",
+    )
+    worker.add_argument(
+        "--idle-timeout", type=float, default=None,
+        help="exit after this many seconds without claiming a job "
+             "(a worker on a still-empty spool waits for the sweep to "
+             "submit; without this flag it waits indefinitely)",
+    )
+    worker.add_argument(
+        "--checkpoint-every", type=positive_int, default=1,
+        help="epochs between resumable checkpoints",
+    )
+
+    status = commands.add_parser(
+        "sweep-status", help="inspect a sweep spool (also reaps expired leases)"
+    )
+    add_queue_arguments(status, spool_required=True)
+    status.add_argument(
+        "--jobs-detail", action="store_true", dest="jobs_detail",
+        help="print one line per job, not just the census",
     )
 
     commands.add_parser("list", help="list datasets, models and methods")
@@ -148,7 +229,33 @@ def _command_sweep(args: argparse.Namespace) -> int:
     methods = args.method or list(METHOD_CHOICES)
     base = _config_from_args(args, methods[0])
     configs = sweep_configs(base, methods)
-    outcomes = run_sweep(configs, jobs=args.jobs)
+    if args.backend == "queue":
+        outcomes = run_sweep(
+            configs,
+            jobs=args.jobs,
+            backend="queue",
+            spool=args.spool,
+            **_queue_params(args),
+        )
+    else:
+        stray = [
+            flag
+            for flag, value in (
+                ("--spool", args.spool),
+                ("--lease-seconds", args.lease_seconds),
+                ("--max-attempts", args.max_attempts),
+                ("--backoff-seconds", args.backoff_seconds),
+            )
+            if value is not None
+        ]
+        if stray:
+            print(
+                f"error: {', '.join(stray)} require(s) --backend queue "
+                "(the local backend has no spool, leases or retries)",
+                file=sys.stderr,
+            )
+            return 2
+        outcomes = run_sweep(configs, jobs=args.jobs)
     rows = [
         (
             config.dataset,
@@ -183,6 +290,64 @@ def _command_sweep(args: argparse.Namespace) -> int:
         save_json(args.out, payload)
         print(f"wrote {args.out}")
     return 0
+
+
+def _queue_params(args: argparse.Namespace) -> dict:
+    """Queue knobs from flags, with defaults for the ones not passed."""
+    return {
+        "lease_seconds": (
+            DEFAULT_LEASE_SECONDS if args.lease_seconds is None else args.lease_seconds
+        ),
+        "max_attempts": (
+            DEFAULT_MAX_ATTEMPTS if args.max_attempts is None else args.max_attempts
+        ),
+        "backoff_seconds": (
+            DEFAULT_BACKOFF_SECONDS if args.backoff_seconds is None else args.backoff_seconds
+        ),
+    }
+
+
+def _queue_from_args(args: argparse.Namespace) -> JobQueue:
+    return JobQueue(args.spool, **_queue_params(args))
+
+
+def _command_worker(args: argparse.Namespace) -> int:
+    queue = _queue_from_args(args)
+    worker = QueueWorker(queue, checkpoint_every=args.checkpoint_every)
+    completed = worker.run(max_jobs=args.max_jobs, idle_timeout=args.idle_timeout)
+    tail = f", {worker.jobs_failed} failed" if worker.jobs_failed else ""
+    print(f"worker {worker.worker_id}: completed {completed} job(s){tail}")
+    failures = queue.failures()
+    if failures:
+        for job_id, error in sorted(failures.items()):
+            print(f"FAILED {job_id}: {error}")
+        return 1
+    return 0
+
+
+def _command_sweep_status(args: argparse.Namespace) -> int:
+    queue = _queue_from_args(args)
+    reaped = queue.reap_expired()
+    status = queue.status()
+    print(
+        format_table(
+            ["jobs", "pending", "claimed", "requeue", "results", "done", "failed"],
+            [(status.jobs, status.pending, status.claimed, status.requeue,
+              status.results, status.done, status.failed)],
+            title=f"spool {args.spool}",
+        )
+    )
+    if reaped:
+        print(f"reaped {len(reaped)} expired lease(s): {', '.join(reaped)}")
+    if args.jobs_detail:
+        rows = []
+        for job_id, entry in queue.job_states().items():
+            note = entry.get("error") or entry.get("worker") or ""
+            if entry.get("lease_remaining") is not None:
+                note += f" (lease {entry['lease_remaining']:.1f}s)"
+            rows.append((job_id, entry["state"], entry.get("attempt", 1), note))
+        print(format_table(["job", "state", "attempt", "detail"], rows))
+    return 0 if status.failed == 0 else 1
 
 
 def _command_list(_args: argparse.Namespace) -> int:
@@ -222,6 +387,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "run": _command_run,
         "sweep": _command_sweep,
+        "worker": _command_worker,
+        "sweep-status": _command_sweep_status,
         "list": _command_list,
         "memory": _command_memory,
     }

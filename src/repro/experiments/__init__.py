@@ -1,6 +1,16 @@
 """Experiment configs and runners behind every table/figure bench."""
 
 from .config import SCALED_IMAGE_SIZE, SCALED_NUM_CLASSES, ExperimentConfig, scaled_config
+from .queue import (
+    ClaimedJob,
+    JobQueue,
+    QueueStatus,
+    QueueWorker,
+    SweepScheduler,
+    job_id_for,
+    manifest_to_outcome,
+    outcome_to_manifest,
+)
 from .runner import (
     ExperimentOutcome,
     build_experiment_model,
@@ -29,4 +39,12 @@ __all__ = [
     "build_experiment_model",
     "build_method",
     "iterations_per_epoch",
+    "JobQueue",
+    "QueueWorker",
+    "QueueStatus",
+    "ClaimedJob",
+    "SweepScheduler",
+    "job_id_for",
+    "outcome_to_manifest",
+    "manifest_to_outcome",
 ]

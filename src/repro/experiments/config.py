@@ -8,7 +8,7 @@ while keeping every algorithmic knob identical.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, fields, replace
 from typing import Dict, Optional
 
 
@@ -66,6 +66,25 @@ class ExperimentConfig:
     def scaled(self, **overrides) -> "ExperimentConfig":
         """Copy with field overrides."""
         return replace(self, **overrides)
+
+    def to_dict(self) -> Dict:
+        """JSON-able dict of every field (the queue's job-file format).
+
+        >>> ExperimentConfig(method="set").to_dict()["method"]
+        'set'
+        """
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "ExperimentConfig":
+        """Inverse of :meth:`to_dict`; unknown keys are ignored so old
+        spool directories stay readable as the config grows fields.
+
+        >>> ExperimentConfig.from_dict({"method": "rigl", "mystery": 1}).method
+        'rigl'
+        """
+        names = {field.name for field in fields(cls)}
+        return cls(**{key: value for key, value in payload.items() if key in names})
 
 
 #: Reduced class counts for the scaled-down versions of the paper's

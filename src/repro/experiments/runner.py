@@ -10,7 +10,8 @@ from __future__ import annotations
 
 import multiprocessing
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -28,7 +29,13 @@ from ..sparse import (
     SNIPSNN,
     SparseTrainingMethod,
 )
-from ..train import EpochStats, Trainer
+from ..train import (
+    CheckpointCallback,
+    EpochStats,
+    Trainer,
+    has_training_state,
+    load_training_state,
+)
 from .config import ExperimentConfig
 
 
@@ -184,29 +191,77 @@ def build_method(config: ExperimentConfig, total_iterations: int) -> SparseTrain
     raise ValueError(f"unknown method {name!r} (use run_lth_experiment for 'lth')")
 
 
-def run_experiment(config: ExperimentConfig, verbose: bool = False) -> ExperimentOutcome:
-    """Train one method per the config; returns accuracy and traces."""
-    train_loader, test_loader, train_set = build_loaders(config)
-    model = build_experiment_model(config, train_set)
-    optimizer = SGD(
-        model.parameters(),
-        lr=config.learning_rate,
-        momentum=config.momentum,
-        weight_decay=config.weight_decay,
-    )
-    scheduler = CosineAnnealingLR(optimizer, t_max=max(1, config.epochs))
+def run_experiment(
+    config: ExperimentConfig,
+    verbose: bool = False,
+    checkpoint_path: Optional[Union[str, Path]] = None,
+    checkpoint_every: int = 1,
+    resume: bool = True,
+    extra_callbacks: Optional[Sequence] = None,
+) -> ExperimentOutcome:
+    """Train one method per the config; returns accuracy and traces.
+
+    With ``checkpoint_path`` set, the complete training state is saved
+    every ``checkpoint_every`` epochs, and (if ``resume`` and a
+    checkpoint exists) the run continues from the last saved epoch
+    boundary instead of epoch zero.  Because the checkpoint restores
+    every RNG stream, optimizer buffer and schedule position, the
+    resumed run is bit-identical to an uninterrupted one — this is the
+    contract the sweep queue's crash-recovery is built on.
+    """
     total_iterations = iterations_per_epoch(config) * config.epochs
-    method = build_method(config, total_iterations)
-    trainer = Trainer(
-        model,
-        method,
-        optimizer,
-        train_loader,
-        test_loader=test_loader,
-        scheduler=scheduler,
+
+    def build_trainer():
+        train_loader, test_loader, train_set = build_loaders(config)
+        model = build_experiment_model(config, train_set)
+        optimizer = SGD(
+            model.parameters(),
+            lr=config.learning_rate,
+            momentum=config.momentum,
+            weight_decay=config.weight_decay,
+        )
+        scheduler = CosineAnnealingLR(optimizer, t_max=max(1, config.epochs))
+        method = build_method(config, total_iterations)
+        trainer = Trainer(
+            model,
+            method,
+            optimizer,
+            train_loader,
+            test_loader=test_loader,
+            scheduler=scheduler,
+        )
+        method.set_execution(config.execution)
+        return trainer, method
+
+    trainer, method = build_trainer()
+    start_epoch = 0
+    initial_history: List[EpochStats] = []
+    if checkpoint_path is not None:
+        checkpoint_path = Path(checkpoint_path)
+        if resume and has_training_state(checkpoint_path):
+            try:
+                metadata = load_training_state(checkpoint_path, trainer)
+                start_epoch = int(metadata["epochs_completed"])
+                initial_history = [
+                    EpochStats(**entry) for entry in metadata.get("history", [])
+                ]
+            except Exception:
+                # A torn or mismatched checkpoint (e.g. two claimants
+                # raced the save) must cost a recompute, not the job;
+                # a partial load may have touched anything, so rebuild
+                # the whole trainer stack and start fresh.
+                trainer, method = build_trainer()
+                start_epoch = 0
+                initial_history = []
+        trainer.add_callback(CheckpointCallback(checkpoint_path, every=checkpoint_every))
+    for callback in extra_callbacks or ():
+        trainer.add_callback(callback)
+    result = trainer.fit(
+        config.epochs,
+        verbose=verbose,
+        start_epoch=start_epoch,
+        initial_history=initial_history,
     )
-    method.set_execution(config.execution)
-    result = trainer.fit(config.epochs, verbose=verbose)
     return ExperimentOutcome(
         config=config,
         final_accuracy=result.final_accuracy,
@@ -221,11 +276,16 @@ def run_lth_experiment(
     rounds: Optional[int] = None,
     epochs_per_round: Optional[int] = None,
     verbose: bool = False,
+    extra_callbacks: Optional[Sequence] = None,
 ) -> ExperimentOutcome:
     """Iterative magnitude pruning: ``rounds`` train/prune/rewind cycles.
 
     The returned history concatenates every round's epochs, which is the
-    honest accounting for LTH's training cost (Fig. 5).
+    honest accounting for LTH's training cost (Fig. 5).  LTH's
+    multi-round meta-loop has no mid-run checkpoint seam, so a
+    re-claimed queue job recomputes it deterministically from scratch;
+    ``extra_callbacks`` (lease heartbeats and the like) attach to every
+    round's trainer.
     """
     rounds = rounds if rounds is not None else config.lth_rounds
     epochs_per_round = epochs_per_round if epochs_per_round is not None else config.epochs
@@ -258,6 +318,8 @@ def run_lth_experiment(
             test_loader=test_loader,
             scheduler=scheduler,
         )
+        for callback in extra_callbacks or ():
+            trainer.add_callback(callback)
         method.set_execution(config.execution)
         result = trainer.fit(epochs_per_round, verbose=verbose)
         combined_history.extend(result.history)
@@ -282,11 +344,29 @@ def run_lth_experiment(
     )
 
 
-def run_method(config: ExperimentConfig, verbose: bool = False) -> ExperimentOutcome:
-    """Dispatch on ``config.method``, including the LTH meta-method."""
+def run_method(
+    config: ExperimentConfig,
+    verbose: bool = False,
+    checkpoint_path: Optional[Union[str, Path]] = None,
+    checkpoint_every: int = 1,
+    resume: bool = True,
+    extra_callbacks: Optional[Sequence] = None,
+) -> ExperimentOutcome:
+    """Dispatch on ``config.method``, including the LTH meta-method.
+
+    Checkpoint/resume arguments apply to single-run methods; LTH
+    ignores them (its re-runs are deterministic recomputations).
+    """
     if config.method == "lth":
-        return run_lth_experiment(config, verbose=verbose)
-    return run_experiment(config, verbose=verbose)
+        return run_lth_experiment(config, verbose=verbose, extra_callbacks=extra_callbacks)
+    return run_experiment(
+        config,
+        verbose=verbose,
+        checkpoint_path=checkpoint_path,
+        checkpoint_every=checkpoint_every,
+        resume=resume,
+        extra_callbacks=extra_callbacks,
+    )
 
 
 def _sweep_worker(config: ExperimentConfig) -> ExperimentOutcome:
@@ -311,16 +391,40 @@ def run_sweep(
     configs: Iterable[ExperimentConfig],
     jobs: int = 1,
     verbose: bool = False,
+    backend: str = "local",
+    spool: Optional[Union[str, Path]] = None,
+    **queue_options,
 ) -> List[ExperimentOutcome]:
     """Run many experiments, optionally fanned out across processes.
 
-    ``jobs <= 1`` runs sequentially in-process; otherwise a
-    ``multiprocessing`` pool of ``jobs`` workers maps over the configs.
+    Backends:
+
+    * ``local`` — ``jobs <= 1`` runs sequentially in-process; otherwise
+      a ``multiprocessing`` pool of ``jobs`` workers maps over the
+      configs.
+    * ``queue`` — the configs are submitted to a durable file-backed
+      job queue in ``spool`` (a temporary directory if omitted) and
+      ``jobs`` worker processes drain it; workers on *other* hosts can
+      join by pointing ``repro worker --spool`` at the same directory.
+      Extra ``queue_options`` (``lease_seconds``, ``max_attempts``,
+      ``backoff_seconds``, ``checkpoint_every``) are forwarded to
+      :class:`~repro.experiments.queue.SweepScheduler`.
+
     Outcomes come back in input order either way, and each experiment
     derives every random stream from its own config seed, so results
-    are independent of the job count.
+    are bit-identical across backends and at any worker count.
     """
     configs = list(configs)
+    if backend == "queue":
+        from .queue import SweepScheduler
+
+        scheduler = SweepScheduler(spool=spool, jobs=jobs, verbose=verbose, **queue_options)
+        return scheduler.run(configs)
+    if backend != "local":
+        raise ValueError(f"unknown sweep backend {backend!r} (use 'local' or 'queue')")
+    if queue_options:
+        unknown = ", ".join(sorted(queue_options))
+        raise TypeError(f"queue options ({unknown}) require backend='queue'")
     if jobs <= 1 or len(configs) <= 1:
         return [run_method(config, verbose=verbose) for config in configs]
     # fork shares the already-imported interpreter state (cheapest);

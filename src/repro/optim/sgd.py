@@ -41,6 +41,26 @@ class Optimizer:
     def reset_state_entries(self, parameter: Parameter, flat_indices: np.ndarray) -> None:
         """Zero optimizer state at the given flat positions of ``parameter``."""
 
+    # ------------------------------------------------------------------
+    # Checkpointing.  Buffers are keyed by the parameter's position in
+    # the (deterministically ordered) parameter list, so state written
+    # by one process restores exactly in a freshly built twin — the
+    # contract behind the sweep queue's crash-resume.
+    # ------------------------------------------------------------------
+    def state_arrays(self) -> Dict[str, np.ndarray]:
+        """Checkpointable state buffers, keyed ``<kind>.<param index>``."""
+        return {}
+
+    def load_state_arrays(self, arrays: Dict[str, np.ndarray]) -> None:
+        """Restore buffers saved by :meth:`state_arrays`."""
+
+    def state_meta(self) -> Dict[str, float]:
+        """JSON-able scalar state (step counters and the like)."""
+        return {}
+
+    def load_state_meta(self, meta: Dict[str, float]) -> None:
+        """Restore scalars saved by :meth:`state_meta`."""
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with momentum and weight decay.
@@ -95,6 +115,21 @@ class SGD(Optimizer):
         if velocity is not None and flat_indices.size:
             velocity.reshape(-1)[flat_indices] = 0.0
 
+    def state_arrays(self) -> Dict[str, np.ndarray]:
+        arrays = {}
+        for index, parameter in enumerate(self.parameters):
+            velocity = self._velocity.get(id(parameter))
+            if velocity is not None:
+                arrays[f"velocity.{index}"] = velocity
+        return arrays
+
+    def load_state_arrays(self, arrays: Dict[str, np.ndarray]) -> None:
+        self._velocity.clear()
+        for index, parameter in enumerate(self.parameters):
+            velocity = arrays.get(f"velocity.{index}")
+            if velocity is not None:
+                self._velocity[id(parameter)] = np.array(velocity, copy=True)
+
 
 class Adam(Optimizer):
     """Adam optimizer (extension; the paper uses SGD)."""
@@ -147,3 +182,27 @@ class Adam(Optimizer):
             buffer = store.get(id(parameter))
             if buffer is not None and flat_indices.size:
                 buffer.reshape(-1)[flat_indices] = 0.0
+
+    def state_arrays(self) -> Dict[str, np.ndarray]:
+        arrays = {}
+        for index, parameter in enumerate(self.parameters):
+            key = id(parameter)
+            if key in self._m:
+                arrays[f"m.{index}"] = self._m[key]
+                arrays[f"v.{index}"] = self._v[key]
+        return arrays
+
+    def load_state_arrays(self, arrays: Dict[str, np.ndarray]) -> None:
+        self._m.clear()
+        self._v.clear()
+        for index, parameter in enumerate(self.parameters):
+            m = arrays.get(f"m.{index}")
+            if m is not None:
+                self._m[id(parameter)] = np.array(m, copy=True)
+                self._v[id(parameter)] = np.array(arrays[f"v.{index}"], copy=True)
+
+    def state_meta(self) -> Dict[str, float]:
+        return {"t": self._t}
+
+    def load_state_meta(self, meta: Dict[str, float]) -> None:
+        self._t = int(meta.get("t", self._t))

@@ -138,6 +138,36 @@ class ADMMPruner(SparseTrainingMethod):
             return 0.0
         return self.masks.sparsity()
 
+    def state_arrays(self) -> Dict[str, np.ndarray]:
+        # The duals only drive the ADMM (pre-prune) phase; after the
+        # hard prune the checkpointed mask carries everything.
+        if self.pruned:
+            return {}
+        arrays = {}
+        for name, value in self.Z.items():
+            arrays[f"Z.{name}"] = value
+        for name, value in self.U.items():
+            arrays[f"U.{name}"] = value
+        return arrays
+
+    def load_state_arrays(self, arrays: Dict[str, np.ndarray]) -> None:
+        for key, value in arrays.items():
+            if key.startswith("Z."):
+                self.Z[key[len("Z."):]] = np.array(value, copy=True)
+            elif key.startswith("U."):
+                self.U[key[len("U."):]] = np.array(value, copy=True)
+
+    def state_meta(self) -> Dict:
+        meta = super().state_meta()
+        meta["pruned"] = self.pruned
+        meta["sparsity_trace"] = [float(s) for s in self.sparsity_trace]
+        return meta
+
+    def load_state_meta(self, meta: Dict) -> None:
+        super().load_state_meta(meta)
+        self.pruned = bool(meta.get("pruned", self.pruned))
+        self.sparsity_trace = list(meta.get("sparsity_trace", self.sparsity_trace))
+
     def __repr__(self) -> str:
         return (
             f"ADMMPruner(sparsity={self.target_sparsity}, rho={self.rho}, "

@@ -569,6 +569,41 @@ class SparseTrainingMethod:
         """Called at the end of every epoch."""
 
     # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state_arrays(self) -> Dict[str, np.ndarray]:
+        """Method-specific arrays to checkpoint (masks are saved separately).
+
+        Methods carrying dense auxiliary tensors (ADMM duals, SNIP
+        sensitivity scores) override this; the drop-and-grow family has
+        no array state beyond the masks.
+        """
+        return {}
+
+    def load_state_arrays(self, arrays: Dict[str, np.ndarray]) -> None:
+        """Restore arrays saved by :meth:`state_arrays`."""
+
+    def state_meta(self) -> Dict:
+        """JSON-able method state: RNG position and counters.
+
+        Restoring this (plus the masks and :meth:`state_arrays`) into a
+        freshly bound method puts it exactly where it was at the
+        checkpointed epoch boundary, so a resumed run replays the same
+        topology-update and growth decisions bit for bit.
+        """
+        meta: Dict = {"mask_update_count": self.mask_update_count}
+        if self.masks is not None:
+            meta["rng_state"] = self.masks.rng.bit_generator.state
+        return meta
+
+    def load_state_meta(self, meta: Dict) -> None:
+        """Restore state saved by :meth:`state_meta`."""
+        self.mask_update_count = int(meta.get("mask_update_count", self.mask_update_count))
+        rng_state = meta.get("rng_state")
+        if rng_state is not None and self.masks is not None:
+            self.masks.rng.bit_generator.state = rng_state
+
+    # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
     def sparsity(self) -> float:

@@ -88,5 +88,28 @@ class SNIPSNN(SparseTrainingMethod):
             return 0.0
         return self.masks.sparsity()
 
+    def state_arrays(self):
+        # Scores only matter until the one-shot prune; afterwards the
+        # mask (checkpointed by the engine) is the whole story.
+        if self._calibrated:
+            return {}
+        return {f"score.{name}": score for name, score in self._scores.items()}
+
+    def load_state_arrays(self, arrays) -> None:
+        for key, value in arrays.items():
+            if key.startswith("score."):
+                self._scores[key[len("score."):]] = np.array(value, copy=True)
+
+    def state_meta(self):
+        meta = super().state_meta()
+        meta["calibrated"] = self._calibrated
+        meta["seen"] = self._seen
+        return meta
+
+    def load_state_meta(self, meta) -> None:
+        super().load_state_meta(meta)
+        self._calibrated = bool(meta.get("calibrated", self._calibrated))
+        self._seen = int(meta.get("seen", self._seen))
+
     def __repr__(self) -> str:
         return f"SNIPSNN(sparsity={self.target_sparsity})"

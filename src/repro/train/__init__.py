@@ -1,6 +1,13 @@
 """Training harness: hook-based trainer, metrics, cost/memory models."""
 
-from .checkpoint import load_checkpoint, save_checkpoint
+from .checkpoint import (
+    CheckpointCallback,
+    has_training_state,
+    load_checkpoint,
+    load_training_state,
+    save_checkpoint,
+    save_training_state,
+)
 from .hooks import (
     CallbackList,
     ConsoleLogger,
@@ -39,6 +46,10 @@ from .trainer import EpochStats, Trainer, TrainingResult
 
 __all__ = [
     "save_checkpoint",
+    "CheckpointCallback",
+    "save_training_state",
+    "load_training_state",
+    "has_training_state",
     "TrainerCallback",
     "CallbackList",
     "MethodCallback",

@@ -123,6 +123,10 @@ class Trainer:
         self.loss_fn = loss_fn
         self.grad_clip = grad_clip
         self.iteration = 0
+        #: The in-flight :class:`TrainingResult`; set at the top of
+        #: :meth:`fit` so callbacks (checkpointing, logging) can see the
+        #: history accumulated so far.
+        self.result: Optional[TrainingResult] = None
         self.callbacks = CallbackList([MethodCallback(method)])
         for callback in callbacks or ():
             self.callbacks.append(callback)
@@ -163,13 +167,27 @@ class Trainer:
             accuracy_meter.update(float((predictions == labels).mean()), batch)
         return loss_meter.average, accuracy_meter.average
 
-    def fit(self, epochs: int, verbose: bool = False) -> TrainingResult:
-        """Train for ``epochs`` epochs, recording per-epoch statistics."""
+    def fit(
+        self,
+        epochs: int,
+        verbose: bool = False,
+        start_epoch: int = 0,
+        initial_history: Optional[Sequence[EpochStats]] = None,
+    ) -> TrainingResult:
+        """Train for ``epochs`` epochs, recording per-epoch statistics.
+
+        ``start_epoch``/``initial_history`` support resuming from a
+        checkpoint (see :func:`~repro.train.checkpoint.load_training_state`):
+        the loop picks up at ``start_epoch`` and the returned history is
+        the restored epochs followed by the newly trained ones, exactly
+        as an uninterrupted run would have produced.
+        """
         if verbose and not any(isinstance(c, ConsoleLogger) for c in self.callbacks):
             self.callbacks.append(ConsoleLogger())
-        result = TrainingResult()
+        result = TrainingResult(history=list(initial_history or []))
+        self.result = result
         self.callbacks.fire("on_train_begin", self, epochs)
-        for epoch in range(epochs):
+        for epoch in range(start_epoch, epochs):
             self.callbacks.fire("on_epoch_start", self, epoch)
             reset_spike_stats(self.model)
             train_loss, train_accuracy = self.train_epoch()

@@ -3,10 +3,12 @@
 from __future__ import annotations
 
 import json
+import os
+import socket
 import time
 from contextlib import contextmanager
 from pathlib import Path
-from typing import Any, Dict, Union
+from typing import Any, Callable, Dict, Union
 
 import numpy as np
 
@@ -79,6 +81,37 @@ def load_json(path: Union[str, Path]) -> Dict[str, Any]:
     """Read a JSON file written by :func:`save_json`."""
     with open(path) as handle:
         return json.load(handle)
+
+
+def atomic_replace(write: Callable[[Path], None], final_path: Union[str, Path]) -> None:
+    """Write via ``write(tmp_path)`` then atomically rename into place.
+
+    The tmp name is host- and pid-qualified, so concurrent writers of
+    the same path — even from different machines sharing a filesystem,
+    as the sweep queue's spool allows — each produce their own complete
+    temporary and the renames serialize; readers only ever observe one
+    writer's full bytes.
+    """
+    final_path = Path(final_path)
+    tmp = final_path.with_name(
+        f"{final_path.name}.tmp-{socket.gethostname()}-{os.getpid()}"
+    )
+    try:
+        write(tmp)
+        os.replace(tmp, final_path)
+    except BaseException:
+        # A failed write (ENOSPC, a crash mid-serialize) must not
+        # strand temporaries — on shared spools they accumulate.
+        try:
+            os.remove(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def save_json_atomic(path: Union[str, Path], payload: Dict[str, Any]) -> None:
+    """:func:`save_json` with the :func:`atomic_replace` guarantee."""
+    atomic_replace(lambda tmp: save_json(tmp, payload), path)
 
 
 def save_state_dict(path: Union[str, Path], state: Dict[str, np.ndarray]) -> None:

@@ -102,3 +102,81 @@ class TestSweep:
     def test_rejects_unknown_sweep_method(self):
         with pytest.raises(SystemExit):
             main(["sweep", "--method", "magic"])
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--backend", "carrier-pigeon", *FAST_SWEEP])
+
+    @pytest.mark.smoke
+    def test_spool_without_queue_backend_is_an_error(self, tmp_path, capsys):
+        code = main(["sweep", "--spool", str(tmp_path / "s"), *FAST_SWEEP])
+        assert code == 2
+        assert "--backend queue" in capsys.readouterr().err
+
+    @pytest.mark.smoke
+    def test_queue_knobs_without_queue_backend_are_an_error(self, capsys):
+        code = main(["sweep", "--lease-seconds", "5", *FAST_SWEEP])
+        assert code == 2
+        assert "--lease-seconds" in capsys.readouterr().err
+
+    @pytest.mark.smoke
+    @pytest.mark.parametrize("flag", ["--checkpoint-every", "--max-jobs"])
+    def test_worker_rejects_nonpositive_counts(self, tmp_path, flag):
+        with pytest.raises(SystemExit):
+            main(["worker", "--spool", str(tmp_path), flag, "0"])
+
+
+class TestQueueBackendCLI:
+    def test_queue_sweep_matches_local_output_file(self, tmp_path, capsys):
+        local_out = tmp_path / "local.json"
+        queue_out = tmp_path / "queue.json"
+        args = ["sweep", "--method", "dense", "--method", "ndsnn", *FAST_SWEEP]
+        assert main([*args, "--out", str(local_out)]) == 0
+        assert main([
+            *args, "--backend", "queue", "--jobs", "2",
+            "--spool", str(tmp_path / "spool"), "--out", str(queue_out),
+        ]) == 0
+        # The acceptance bar: byte-identical result files across backends.
+        assert queue_out.read_text() == local_out.read_text()
+
+    @pytest.mark.smoke
+    def test_worker_drains_spool(self, tmp_path, capsys):
+        from repro.experiments import JobQueue, scaled_config
+
+        spool = tmp_path / "spool"
+        queue = JobQueue(spool)
+        queue.submit([
+            scaled_config("cifar10", "convnet", "dense", 0.9, epochs=1,
+                          train_samples=32, test_samples=16, timesteps=2,
+                          batch_size=16, image_size=8),
+        ])
+        assert main(["worker", "--spool", str(spool)]) == 0
+        assert "completed 1 job(s)" in capsys.readouterr().out
+        assert queue.status().results == 1
+
+    @pytest.mark.smoke
+    def test_sweep_status_census_and_detail(self, tmp_path, capsys):
+        from repro.experiments import JobQueue, scaled_config
+
+        spool = tmp_path / "spool"
+        queue = JobQueue(spool)
+        queue.submit([
+            scaled_config("cifar10", "convnet", "set", 0.9, epochs=1),
+        ])
+        assert main(["sweep-status", "--spool", str(spool), "--jobs-detail"]) == 0
+        out = capsys.readouterr().out
+        assert "pending" in out
+        assert "job0000-set-" in out
+
+    @pytest.mark.smoke
+    def test_sweep_status_reports_failures_nonzero(self, tmp_path, capsys):
+        from repro.experiments import JobQueue, QueueWorker, scaled_config
+
+        spool = tmp_path / "spool"
+        queue = JobQueue(spool, max_attempts=1)
+        queue.submit([
+            scaled_config("cifar10", "convnet", "blackhole", 0.9, epochs=1),
+        ])
+        QueueWorker(queue, poll_seconds=0.01).run(max_jobs=1)
+        assert main(["sweep-status", "--spool", str(spool)]) == 1
+        assert "failed" in capsys.readouterr().out

@@ -1,12 +1,21 @@
-"""Checkpoint save/load including sparse masks."""
+"""Checkpoint save/load including sparse masks and full training state."""
 
 import numpy as np
 import pytest
 
+from repro.experiments import run_experiment, scaled_config
 from repro.optim import SGD
 from repro.snn.models import SpikingMLP
 from repro.sparse import NDSNN, DenseMethod
-from repro.train import load_checkpoint, save_checkpoint
+from repro.train import (
+    CheckpointCallback,
+    has_training_state,
+    load_checkpoint,
+    load_training_state,
+    save_checkpoint,
+    save_training_state,
+)
+from repro.train.hooks import TrainerCallback
 
 
 def make_model(seed=0):
@@ -70,3 +79,213 @@ class TestCheckpoint:
         save_checkpoint(tmp_path / "ckpt", model, extra={"lr": 0.1, "note": "hello"})
         metadata = load_checkpoint(tmp_path / "ckpt", model)
         assert metadata["extra"]["note"] == "hello"
+
+
+FAST = dict(
+    epochs=3, train_samples=48, test_samples=16, timesteps=2,
+    batch_size=16, update_frequency=2, initial_sparsity=0.5,
+)
+
+
+class _InterruptTraining(Exception):
+    pass
+
+
+class _StopAfter(TrainerCallback):
+    """Abort a run after N epochs (the in-process stand-in for a kill)."""
+
+    def __init__(self, epochs):
+        self.epochs = epochs
+
+    def on_epoch_end(self, trainer, epoch, stats):
+        if epoch + 1 >= self.epochs:
+            raise _InterruptTraining()
+
+
+def _interrupted_then_resumed(config, checkpoint, stop_after=1):
+    """Train with checkpointing, die after ``stop_after`` epochs, resume."""
+    with pytest.raises(_InterruptTraining):
+        run_experiment(
+            config,
+            checkpoint_path=checkpoint,
+            extra_callbacks=[_StopAfter(stop_after)],
+        )
+    assert has_training_state(checkpoint)
+    return run_experiment(config, checkpoint_path=checkpoint, resume=True)
+
+
+class TestTrainingStateResume:
+    """A resumed run must be bit-identical to an uninterrupted one."""
+
+    @pytest.mark.parametrize("method", ["ndsnn", "set", "rigl", "gmp", "admm", "snip", "dense"])
+    def test_resume_bit_identical(self, method, tmp_path):
+        config = scaled_config("cifar10", "convnet", method, 0.9, **FAST)
+        golden = run_experiment(config)
+        resumed = _interrupted_then_resumed(config, tmp_path / "job")
+        assert len(resumed.history) == len(golden.history) == config.epochs
+        for want, got in zip(golden.history, resumed.history):
+            assert want.as_dict() == got.as_dict()
+        assert resumed.final_accuracy == golden.final_accuracy
+        assert resumed.final_sparsity == golden.final_sparsity
+
+    @pytest.mark.smoke
+    def test_resume_from_second_epoch(self, tmp_path):
+        config = scaled_config("cifar10", "convnet", "ndsnn", 0.9, **FAST)
+        golden = run_experiment(config)
+        resumed = _interrupted_then_resumed(config, tmp_path / "job", stop_after=2)
+        assert [s.as_dict() for s in resumed.history] == [
+            s.as_dict() for s in golden.history
+        ]
+
+    def test_checkpoint_every_epoch_and_cleanup_of_tmp(self, tmp_path):
+        config = scaled_config("cifar10", "convnet", "ndsnn", 0.9, **FAST)
+        run_experiment(config, checkpoint_path=tmp_path / "job")
+        assert has_training_state(tmp_path / "job")
+        # Atomic writes leave no temporaries behind.
+        assert not list(tmp_path.glob("*.tmp*"))
+
+    def test_completed_run_does_not_retrain_on_resume(self, tmp_path):
+        config = scaled_config("cifar10", "convnet", "ndsnn", 0.9, **FAST)
+        first = run_experiment(config, checkpoint_path=tmp_path / "job")
+        again = run_experiment(config, checkpoint_path=tmp_path / "job", resume=True)
+        # All epochs were restored from the checkpoint, none re-trained.
+        assert [s.as_dict() for s in again.history] == [
+            s.as_dict() for s in first.history
+        ]
+
+    def test_metadata_shape(self, tmp_path):
+        config = scaled_config("cifar10", "convnet", "set", 0.9, **FAST)
+        trainer_state = tmp_path / "job"
+        run_experiment(config, checkpoint_path=trainer_state)
+        from repro.utils import load_json
+
+        metadata = load_json(trainer_state.with_suffix(".json"))
+        assert metadata["epochs_completed"] == config.epochs
+        assert metadata["iteration"] == 3 * config.epochs  # 48/16 batches
+        assert metadata["loader_rng_state"]["bit_generator"] == "PCG64"
+        assert len(metadata["history"]) == config.epochs
+
+
+class TestResumeWithAugmentation:
+    def _fit(self, epochs, checkpoint=None, resume=False, fit_epochs=None):
+        """Trainer over augmented loaders (transform RNGs in play)."""
+        from repro.experiments.runner import (
+            build_experiment_model,
+            build_loaders,
+            build_method,
+        )
+        from repro.experiments import scaled_config
+        from repro.optim import CosineAnnealingLR
+        from repro.train import Trainer
+
+        config = scaled_config("cifar10", "convnet", "ndsnn", 0.9, **FAST)
+        train_loader, test_loader, train_set = build_loaders(config, augment=True)
+        model = build_experiment_model(config, train_set)
+        optimizer = SGD(model.parameters(), lr=0.1, momentum=0.9)
+        trainer = Trainer(
+            model,
+            build_method(config, 9),
+            optimizer,
+            train_loader,
+            test_loader=test_loader,
+            scheduler=CosineAnnealingLR(optimizer, t_max=epochs),
+        )
+        start_epoch = 0
+        history = []
+        if resume:
+            metadata = load_training_state(checkpoint, trainer)
+            start_epoch = metadata["epochs_completed"]
+            from repro.train import EpochStats
+
+            history = [EpochStats(**entry) for entry in metadata["history"]]
+        if checkpoint is not None:
+            trainer.add_callback(CheckpointCallback(checkpoint))
+        return trainer.fit(fit_epochs if fit_epochs is not None else epochs,
+                           start_epoch=start_epoch, initial_history=history)
+
+    def test_transform_rng_streams_resume_bit_identical(self, tmp_path):
+        golden = self._fit(epochs=3)
+        self._fit(epochs=3, checkpoint=tmp_path / "aug", fit_epochs=1)
+        resumed = self._fit(epochs=3, checkpoint=tmp_path / "aug", resume=True)
+        assert [s.as_dict() for s in resumed.history] == [
+            s.as_dict() for s in golden.history
+        ]
+
+
+class TestCheckpointIntegrity:
+    def test_mismatched_pair_rejected(self, tmp_path):
+        """Torn npz/json pairs are detected, not silently resumed."""
+        config = scaled_config("cifar10", "convnet", "ndsnn", 0.9, **FAST)
+        run_experiment(config, checkpoint_path=tmp_path / "job")
+        from repro.utils import load_json, save_json
+
+        metadata = load_json((tmp_path / "job").with_suffix(".json"))
+        metadata["epochs_completed"] -= 1  # simulate a stale sidecar
+        save_json((tmp_path / "job").with_suffix(".json"), metadata)
+
+        from repro.experiments.runner import (
+            build_experiment_model,
+            build_loaders,
+            build_method,
+        )
+        from repro.train import Trainer
+
+        train_loader, test_loader, train_set = build_loaders(config)
+        model = build_experiment_model(config, train_set)
+        trainer = Trainer(
+            model, build_method(config, 9), SGD(model.parameters(), lr=0.1),
+            train_loader, test_loader=test_loader,
+        )
+        with pytest.raises(ValueError, match="pair mismatch"):
+            load_training_state(tmp_path / "job", trainer)
+
+    def test_corrupt_checkpoint_recomputes_instead_of_failing(self, tmp_path):
+        config = scaled_config("cifar10", "convnet", "ndsnn", 0.9, **FAST)
+        golden = run_experiment(config)
+        run_experiment(config, checkpoint_path=tmp_path / "job")
+        (tmp_path / "job.npz").write_bytes(b"not an npz archive")
+        recovered = run_experiment(config, checkpoint_path=tmp_path / "job", resume=True)
+        assert [s.as_dict() for s in recovered.history] == [
+            s.as_dict() for s in golden.history
+        ]
+
+
+class TestCheckpointCallback:
+    def test_interval_validation(self):
+        with pytest.raises(ValueError):
+            CheckpointCallback("x", every=0)
+
+    def test_save_and_load_roundtrip_velocity(self, tmp_path):
+        """Optimizer momentum survives the save/load cycle exactly."""
+        config = scaled_config("cifar10", "convnet", "dense", 0.9, **FAST)
+        from repro.experiments.runner import (
+            build_experiment_model,
+            build_loaders,
+            build_method,
+        )
+        from repro.optim import CosineAnnealingLR
+        from repro.train import Trainer
+
+        def build():
+            train_loader, test_loader, train_set = build_loaders(config)
+            model = build_experiment_model(config, train_set)
+            optimizer = SGD(model.parameters(), lr=0.1, momentum=0.9)
+            trainer = Trainer(
+                model, build_method(config, 10), optimizer, train_loader,
+                test_loader=test_loader,
+                scheduler=CosineAnnealingLR(optimizer, t_max=3),
+            )
+            return trainer, optimizer
+
+        trainer, optimizer = build()
+        trainer.fit(1)
+        save_training_state(tmp_path / "state", trainer, epochs_completed=1)
+        twin, twin_optimizer = build()
+        load_training_state(tmp_path / "state", twin)
+        for original, restored in zip(
+            optimizer.state_arrays().items(), twin_optimizer.state_arrays().items()
+        ):
+            assert original[0] == restored[0]
+            np.testing.assert_array_equal(original[1], restored[1])
+        assert twin.iteration == trainer.iteration
+        assert twin_optimizer.lr == optimizer.lr

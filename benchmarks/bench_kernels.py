@@ -11,9 +11,18 @@ Two modes:
 
   For each (shape, sparsity) cell it times the dense masked matmul
   ``(W*mask) @ X`` against the CSR fast path, both kernel-only (pattern
-  and values resident, the inference/steady-state case) and including
-  the per-step value refresh (the training case), plus the transposed
-  product used by the input gradient.
+  and values resident, the steady-state write-through case) and
+  including a per-call value refresh (the historical CSR tax), plus the
+  transposed product used by the input gradient, the standalone refresh
+  cost amortized over a training step, direct sparse-filter convolution
+  cells, and the routing an ``--execution auto`` run would take per
+  cell under measured calibration;
+* a regression gate over the committed numbers::
+
+      PYTHONPATH=src python benchmarks/bench_kernels.py --check BENCH_kernels.json
+
+  re-times the grid and exits non-zero if any headline metric regressed
+  by more than 15% (tier-1 runs the gate mechanism via a smoke test).
 """
 
 import argparse
@@ -117,6 +126,25 @@ def test_spiking_forward_pass(benchmark):
 
 COMPARISON_SHAPES = ((512, 512, 16), (1024, 1024, 16))
 COMPARISON_SPARSITIES = (0.5, 0.9, 0.99)
+#: Direct sparse-filter convolution cells: (filters, channels, kernel,
+#: height, width, batch), padded same, stride 1.
+CONV_SHAPES = ((32, 16, 3, 16, 16, 8),)
+#: SNN timesteps over which one optimizer-step refresh amortizes (the
+#: reproduction's default temporal window).
+DEFAULT_TIMESTEPS = 5
+#: Headline metrics may regress by at most this fraction before
+#: ``--check`` fails.
+CHECK_TOLERANCE = 0.15
+#: Headline speedup metrics the regression gate compares (higher is
+#: better); ``refresh_overhead_at_90`` is gated separately (lower is
+#: better).
+HEADLINE_METRICS = (
+    "best_speedup_at_90",
+    "best_speedup_with_refresh_at_90",
+    "best_speedup_train_step_at_90",
+    "conv_speedup_at_90",
+    "min_auto_speedup",
+)
 
 
 def _time(fn, repeats):
@@ -127,8 +155,16 @@ def _time(fn, repeats):
     return (time.perf_counter() - start) / repeats
 
 
-def compare_masked_matmul(rows, cols, batch, sparsity, repeats=50, seed=0):
-    """One comparison cell: dense masked matmul vs the CSR fast path."""
+def compare_masked_matmul(
+    rows, cols, batch, sparsity, repeats=50, seed=0, timesteps=DEFAULT_TIMESTEPS
+):
+    """One comparison cell: dense masked matmul vs the CSR fast path.
+
+    ``timesteps`` sets the amortization window for the write-through
+    refresh: a training step gathers active values once and reuses them
+    for ``timesteps`` forward products plus ``timesteps`` transposed
+    (input-gradient) products.
+    """
     rng = np.random.default_rng(seed)
     weight = rng.standard_normal((rows, cols)).astype(np.float32)
     keep = max(1, int(round((1.0 - sparsity) * rows * cols)))
@@ -147,6 +183,13 @@ def compare_masked_matmul(rows, cols, batch, sparsity, repeats=50, seed=0):
     csr_refresh_s = _time(lambda: pattern.matmul(pattern.gather(weight), x), repeats)
     dense_t_s = _time(lambda: (weight * mask).T @ grad, repeats)
     csr_t_s = _time(lambda: pattern.t_matmul(data, grad), repeats)
+    refresh_s = _time(lambda: pattern.gather(weight), repeats)
+
+    # One training step at T timesteps: dense pays T masked products each
+    # direction; write-through CSR pays the same products sparse plus a
+    # single value refresh.
+    step_csr_s = timesteps * (csr_kernel_s + csr_t_s) + refresh_s
+    step_dense_s = timesteps * (dense_s + dense_t_s)
 
     # Correctness guard: a fast wrong kernel is not a fast kernel.
     reference = (weight * mask) @ x
@@ -162,52 +205,243 @@ def compare_masked_matmul(rows, cols, batch, sparsity, repeats=50, seed=0):
         "cols": cols,
         "batch": batch,
         "sparsity": sparsity,
+        "timesteps": timesteps,
         "dense_us": dense_s * 1e6,
         "csr_kernel_us": csr_kernel_s * 1e6,
         "csr_with_refresh_us": csr_refresh_s * 1e6,
         "dense_t_us": dense_t_s * 1e6,
         "csr_t_us": csr_t_s * 1e6,
+        "refresh_us": refresh_s * 1e6,
+        "refresh_overhead": refresh_s / (timesteps * (csr_kernel_s + csr_t_s)),
         "speedup_kernel": dense_s / csr_kernel_s,
         "speedup_with_refresh": dense_s / csr_refresh_s,
         "speedup_transposed": dense_t_s / csr_t_s,
+        "speedup_train_step": step_dense_s / step_csr_s,
         "max_abs_error": max_err,
     }
 
 
-def run_comparison(repeats=50):
+class _BenchState:
+    """Minimal MaskedParameter stand-in forcing the CSR conv route."""
+
+    class _Manager:
+        @staticmethod
+        def use_csr(state):
+            return True
+
+    def __init__(self, mask, weight):
+        self.mask = mask
+        self.manager = self._Manager()
+        self._pattern = CSRPattern.from_mask(mask)
+        self._pattern.gather(weight)
+
+    def csr_pattern(self):
+        return self._pattern
+
+    def csr_values(self):
+        return self._pattern.values
+
+
+def compare_masked_conv(filters, channels, kernel, height, width, batch,
+                        sparsity, repeats=20, seed=0):
+    """One conv cell: dense conv2d vs the direct sparse-filter kernel."""
+    from repro.tensor import masked_conv2d
+
+    rng = np.random.default_rng(seed)
+    shape = (filters, channels, kernel, kernel)
+    weight = rng.standard_normal(shape).astype(np.float32) * 0.1
+    total = int(np.prod(shape))
+    keep = max(1, int(round((1.0 - sparsity) * total)))
+    mask = np.zeros(total, dtype=np.float32)
+    mask[rng.choice(total, size=keep, replace=False)] = 1.0
+    mask = mask.reshape(shape)
+    weight *= mask
+    x = Tensor(rng.standard_normal((batch, channels, height, width)).astype(np.float32))
+    weight_t = Tensor(weight)
+    state = _BenchState(mask, weight)
+    padding = kernel // 2
+
+    dense_s = _time(lambda: conv2d(x, weight_t, None, padding=padding), repeats)
+    csr_s = _time(
+        lambda: masked_conv2d(x, weight_t, None, padding=padding, state=state), repeats
+    )
+
+    reference = conv2d(x, weight_t, None, padding=padding).data
+    produced = masked_conv2d(x, weight_t, None, padding=padding, state=state).data
+    max_err = float(np.abs(produced - reference).max())
+    tolerance = 1e-4 * max(1.0, float(np.abs(reference).max()))
+    if max_err > tolerance:
+        raise AssertionError(
+            f"sparse conv kernel diverges from dense reference: max abs "
+            f"error {max_err:.3e} > {tolerance:.3e} at sparsity {sparsity}"
+        )
+    return {
+        "filters": filters,
+        "channels": channels,
+        "kernel": kernel,
+        "height": height,
+        "width": width,
+        "batch": batch,
+        "sparsity": sparsity,
+        "dense_us": dense_s * 1e6,
+        "csr_us": csr_s * 1e6,
+        "speedup": dense_s / csr_s,
+        "max_abs_error": max_err,
+    }
+
+
+def auto_route_cells(matmul_cells):
+    """Per-cell routing an ``--execution auto`` run would take.
+
+    Uses the same measured calibration machinery as the training
+    runners (:func:`repro.sparse.dispatch.get_cutoff`).  A cell routed
+    dense has speedup exactly 1.0 by construction — auto never pays for
+    a losing CSR dispatch.
+    """
+    from repro.sparse.dispatch import get_cutoff
+
+    cells = []
+    for cell in matmul_cells:
+        density = 1.0 - cell["sparsity"]
+        cutoff = get_cutoff(cell["rows"], cell["cols"])
+        route = "csr" if density <= cutoff else "dense"
+        cells.append(
+            {
+                "rows": cell["rows"],
+                "cols": cell["cols"],
+                "sparsity": cell["sparsity"],
+                "density": density,
+                "cutoff": cutoff,
+                "route": route,
+                "speedup_auto": cell["speedup_train_step"] if route == "csr" else 1.0,
+            }
+        )
+    return cells
+
+
+def run_comparison(
+    shapes=COMPARISON_SHAPES,
+    sparsities=COMPARISON_SPARSITIES,
+    conv_shapes=CONV_SHAPES,
+    repeats=50,
+    timesteps=DEFAULT_TIMESTEPS,
+):
     """Full dense-vs-CSR grid; returns the BENCH_kernels payload."""
     cells = []
-    for rows, cols, batch in COMPARISON_SHAPES:
-        for sparsity in COMPARISON_SPARSITIES:
+    for rows, cols, batch in shapes:
+        for sparsity in sparsities:
             cells.append(
-                compare_masked_matmul(rows, cols, batch, sparsity, repeats=repeats)
+                compare_masked_matmul(
+                    rows, cols, batch, sparsity, repeats=repeats, timesteps=timesteps
+                )
             )
+    conv_cells = []
+    for filters, channels, kernel, height, width, batch in conv_shapes:
+        for sparsity in sparsities:
+            conv_cells.append(
+                compare_masked_conv(
+                    filters, channels, kernel, height, width, batch,
+                    sparsity, repeats=max(1, repeats // 2),
+                )
+            )
+    auto_cells = auto_route_cells(cells)
     at_90 = [c for c in cells if c["sparsity"] == 0.9]
+    conv_at_90 = [c for c in conv_cells if c["sparsity"] == 0.9]
     return {
         "bench": "dense_masked_matmul_vs_csr",
         "repeats": repeats,
+        "timesteps": timesteps,
         "cells": cells,
+        "conv_cells": conv_cells,
+        "auto_cells": auto_cells,
         "best_speedup_at_90": max(c["speedup_kernel"] for c in at_90),
         "best_speedup_with_refresh_at_90": max(
             c["speedup_with_refresh"] for c in at_90
         ),
+        "best_speedup_train_step_at_90": max(c["speedup_train_step"] for c in at_90),
+        "refresh_overhead_at_90": max(c["refresh_overhead"] for c in at_90),
+        "conv_speedup_at_90": max(c["speedup"] for c in conv_at_90),
+        "min_auto_speedup": min(c["speedup_auto"] for c in auto_cells),
     }
+
+
+def check_regressions(baseline, payload, tolerance=CHECK_TOLERANCE):
+    """Compare headline metrics against a committed baseline.
+
+    Returns a list of human-readable failure strings (empty = pass).
+    Speedup metrics fail when they fall more than ``tolerance`` below
+    the baseline; the refresh overhead fails when it grows more than
+    ``tolerance`` above it (with an absolute floor of 0.10, the
+    exit-state budget, so sub-budget jitter never trips the gate).
+    """
+    failures = []
+    for metric in HEADLINE_METRICS:
+        base = baseline.get(metric)
+        if base is None:
+            continue  # older baselines predate this metric
+        current = payload[metric]
+        floor = base * (1.0 - tolerance)
+        if current < floor:
+            failures.append(
+                f"{metric}: {current:.3f} < {floor:.3f} "
+                f"(baseline {base:.3f} - {tolerance:.0%})"
+            )
+    base_overhead = baseline.get("refresh_overhead_at_90")
+    if base_overhead is not None:
+        ceiling = max(base_overhead * (1.0 + tolerance), 0.10)
+        current = payload["refresh_overhead_at_90"]
+        if current > ceiling:
+            failures.append(
+                f"refresh_overhead_at_90: {current:.3f} > {ceiling:.3f} "
+                f"(baseline {base_overhead:.3f} + {tolerance:.0%})"
+            )
+    return failures
 
 
 def main(argv=None):
     parser = argparse.ArgumentParser(description="dense-vs-CSR kernel comparison")
     parser.add_argument("--out", default="BENCH_kernels.json")
     parser.add_argument("--repeats", type=int, default=50)
+    parser.add_argument("--timesteps", type=int, default=DEFAULT_TIMESTEPS)
+    parser.add_argument(
+        "--check", metavar="BASELINE", default=None,
+        help="re-time the grid and fail (exit 1) if any headline metric "
+             f"regressed more than {CHECK_TOLERANCE:.0%} vs this JSON",
+    )
     args = parser.parse_args(argv)
-    payload = run_comparison(repeats=args.repeats)
+    payload = run_comparison(repeats=args.repeats, timesteps=args.timesteps)
     for cell in payload["cells"]:
         print(
             f"{cell['rows']}x{cell['cols']} b={cell['batch']} "
             f"sparsity={cell['sparsity']:.2f}: dense {cell['dense_us']:8.1f}us  "
             f"csr {cell['csr_kernel_us']:8.1f}us ({cell['speedup_kernel']:.2f}x, "
-            f"{cell['speedup_with_refresh']:.2f}x with refresh)"
+            f"{cell['speedup_train_step']:.2f}x/step, refresh "
+            f"{100 * cell['refresh_overhead']:.1f}%)"
+        )
+    for cell in payload["conv_cells"]:
+        print(
+            f"conv {cell['filters']}x{cell['channels']}x{cell['kernel']} "
+            f"sparsity={cell['sparsity']:.2f}: dense {cell['dense_us']:8.1f}us  "
+            f"csr {cell['csr_us']:8.1f}us ({cell['speedup']:.2f}x)"
+        )
+    for cell in payload["auto_cells"]:
+        print(
+            f"auto {cell['rows']}x{cell['cols']} density={cell['density']:.2f} "
+            f"cutoff={cell['cutoff']:.2f} -> {cell['route']} "
+            f"({cell['speedup_auto']:.2f}x)"
         )
     print(f"best speedup at 90% sparsity: {payload['best_speedup_at_90']:.2f}x")
+    print(f"refresh overhead at 90% sparsity: {100 * payload['refresh_overhead_at_90']:.1f}%")
+    if args.check is not None:
+        with open(args.check) as fh:
+            baseline = json.load(fh)
+        failures = check_regressions(baseline, payload)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION {failure}")
+            return 1
+        print(f"no headline regression vs {args.check}")
+        return 0
     with open(args.out, "w") as fh:
         json.dump(payload, fh, indent=2)
     print(f"wrote {args.out}")

@@ -76,9 +76,9 @@ def _build_parser() -> argparse.ArgumentParser:
         parser.add_argument("--update-frequency", type=int, default=8)
         parser.add_argument("--seed", type=int, default=0)
         parser.add_argument(
-            "--execution", default="dense", choices=EXECUTION_MODES,
+            "--execution", default="auto", choices=EXECUTION_MODES,
             help="masked-layer kernels: dense, auto (CSR below the "
-                 "density threshold) or csr",
+                 "measured per-shape density cutoff; the default) or csr",
         )
         parser.add_argument("--out", default=None, help="write the outcome as JSON")
 

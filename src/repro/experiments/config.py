@@ -57,11 +57,12 @@ class ExperimentConfig:
     test_samples: int = 128
     seed: int = 0
 
-    # Masked-layer execution: ``dense`` reproduces the historical
-    # bit-exact path, ``auto`` routes layers through the CSR kernels
-    # when their measured density drops below the dispatch threshold,
-    # ``csr`` forces the sparse kernels everywhere.
-    execution: str = "dense"
+    # Masked-layer execution: ``dense`` always multiplies the masked
+    # dense weights, ``auto`` (the default) routes layers through the
+    # CSR kernels when their measured density drops below the dispatch
+    # cutoff (per-shape calibrated by the runners), ``csr`` forces the
+    # sparse kernels everywhere.
+    execution: str = "auto"
 
     def scaled(self, **overrides) -> "ExperimentConfig":
         """Copy with field overrides."""

@@ -8,7 +8,10 @@ worker processes (``--jobs`` on the CLI) for table/figure grids.
 
 from __future__ import annotations
 
+import contextlib
 import multiprocessing
+import os
+import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, List, Optional, Sequence, Union
@@ -230,7 +233,7 @@ def run_experiment(
             test_loader=test_loader,
             scheduler=scheduler,
         )
-        method.set_execution(config.execution)
+        method.set_execution(config.execution, calibrate=True)
         return trainer, method
 
     trainer, method = build_trainer()
@@ -320,7 +323,7 @@ def run_lth_experiment(
         )
         for callback in extra_callbacks or ():
             trainer.add_callback(callback)
-        method.set_execution(config.execution)
+        method.set_execution(config.execution, calibrate=True)
         result = trainer.fit(epochs_per_round, verbose=verbose)
         combined_history.extend(result.history)
         final_accuracy = result.final_accuracy
@@ -374,6 +377,32 @@ def _sweep_worker(config: ExperimentConfig) -> ExperimentOutcome:
     return run_method(config, verbose=False)
 
 
+@contextlib.contextmanager
+def _calibration_scope():
+    """Point all sweep workers at one shared dispatch-calibration cache.
+
+    Under ``auto`` execution each worker calibrates its dispatch cutoffs
+    by timing kernels; with the write-once cache in a shared directory,
+    the first worker to measure a shape publishes the cutoff and every
+    later worker (same process or sibling) adopts it — so all runs of a
+    sweep route dense-vs-CSR identically regardless of per-process
+    timing jitter.  Respects a pre-set ``REPRO_CALIBRATION_DIR`` (the
+    queue backend's cross-host workers set it to the spool).
+    """
+    from ..sparse.dispatch import CALIBRATION_ENV, clear_process_cache
+
+    if os.environ.get(CALIBRATION_ENV):
+        yield
+        return
+    with tempfile.TemporaryDirectory(prefix="repro-calib-") as shared:
+        os.environ[CALIBRATION_ENV] = shared
+        try:
+            yield
+        finally:
+            os.environ.pop(CALIBRATION_ENV, None)
+            clear_process_cache()
+
+
 def sweep_configs(
     base: ExperimentConfig,
     methods: Sequence[str],
@@ -415,23 +444,26 @@ def run_sweep(
     are bit-identical across backends and at any worker count.
     """
     configs = list(configs)
-    if backend == "queue":
-        from .queue import SweepScheduler
+    with _calibration_scope():
+        if backend == "queue":
+            from .queue import SweepScheduler
 
-        scheduler = SweepScheduler(spool=spool, jobs=jobs, verbose=verbose, **queue_options)
-        return scheduler.run(configs)
-    if backend != "local":
-        raise ValueError(f"unknown sweep backend {backend!r} (use 'local' or 'queue')")
-    if queue_options:
-        unknown = ", ".join(sorted(queue_options))
-        raise TypeError(f"queue options ({unknown}) require backend='queue'")
-    if jobs <= 1 or len(configs) <= 1:
-        return [run_method(config, verbose=verbose) for config in configs]
-    # fork shares the already-imported interpreter state (cheapest);
-    # spawn is the portable fallback where fork is unavailable.
-    try:
-        context = multiprocessing.get_context("fork")
-    except ValueError:
-        context = multiprocessing.get_context("spawn")
-    with context.Pool(processes=min(jobs, len(configs))) as pool:
-        return pool.map(_sweep_worker, configs)
+            scheduler = SweepScheduler(
+                spool=spool, jobs=jobs, verbose=verbose, **queue_options
+            )
+            return scheduler.run(configs)
+        if backend != "local":
+            raise ValueError(f"unknown sweep backend {backend!r} (use 'local' or 'queue')")
+        if queue_options:
+            unknown = ", ".join(sorted(queue_options))
+            raise TypeError(f"queue options ({unknown}) require backend='queue'")
+        if jobs <= 1 or len(configs) <= 1:
+            return [run_method(config, verbose=verbose) for config in configs]
+        # fork shares the already-imported interpreter state (cheapest);
+        # spawn is the portable fallback where fork is unavailable.
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:
+            context = multiprocessing.get_context("spawn")
+        with context.Pool(processes=min(jobs, len(configs))) as pool:
+            return pool.map(_sweep_worker, configs)

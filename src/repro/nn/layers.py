@@ -11,6 +11,15 @@ from . import init
 from .module import Module, Parameter
 
 
+def _layer_dispatch_info(layer) -> Optional[dict]:
+    """Shared ``dispatch_info`` body for masked layers (duck-typed on
+    ``weight_state`` to avoid importing the sparse engine here)."""
+    state = layer.weight_state
+    if state is None or state.manager is None:
+        return None
+    return state.manager.explain_dispatch(state.name)
+
+
 class Linear(Module):
     """Affine layer ``y = x W^T + b`` with weight shape ``(out, in)``.
 
@@ -38,6 +47,15 @@ class Linear(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         return masked_linear(x, self.weight, self.bias, self.weight_state)
+
+    def dispatch_info(self) -> Optional[dict]:
+        """Dispatch decision for this layer, or ``None`` when unbound.
+
+        Delegates to the owning manager's ``explain_dispatch`` so users
+        can ask a layer directly which route (dense vs CSR) its next
+        forward will take and why.
+        """
+        return _layer_dispatch_info(self)
 
     def __repr__(self) -> str:
         return f"Linear(in={self.in_features}, out={self.out_features}, bias={self.bias is not None})"
@@ -79,6 +97,10 @@ class Conv2d(Module):
             x, self.weight, self.bias,
             stride=self.stride, padding=self.padding, state=self.weight_state,
         )
+
+    def dispatch_info(self) -> Optional[dict]:
+        """Dispatch decision for this layer, or ``None`` when unbound."""
+        return _layer_dispatch_info(self)
 
     def __repr__(self) -> str:
         return (

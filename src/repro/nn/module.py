@@ -138,6 +138,12 @@ class Module:
                         f"{target.data.shape} vs {value.shape}"
                     )
                 target.data = np.array(value, dtype=np.float32, copy=True)
+                # Restoring weights bypasses the optimizer's write-through
+                # hook; tell any attached sparse state its CSR value
+                # cache is stale (duck-typed to avoid an import cycle).
+                masked_state = getattr(target, "_masked_state", None)
+                if masked_state is not None:
+                    masked_state.mark_values_dirty()
             elif name in buffer_owners:
                 module, buffer_name = buffer_owners[name]
                 module.update_buffer(buffer_name, np.array(value, copy=True))

@@ -34,6 +34,19 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    @staticmethod
+    def _write_through(parameter: Parameter) -> None:
+        """Keep the parameter's CSR value cache coherent after an update.
+
+        Masked parameters carry a back-reference to their sparse state
+        (see :class:`~repro.sparse.engine.MaskedParameter`); fusing the
+        value refresh into the step is what lets the forward pass skip
+        the per-call re-gather.  Unmasked parameters cost one dict miss.
+        """
+        state = getattr(parameter, "_masked_state", None)
+        if state is not None:
+            state.write_through()
+
     def state_for(self, parameter: Parameter) -> Optional[np.ndarray]:
         """Primary state buffer (momentum) for ``parameter``, if any."""
         return None
@@ -106,6 +119,7 @@ class SGD(Optimizer):
                 else:
                     gradient = velocity
             parameter.data -= self.lr * gradient
+            self._write_through(parameter)
 
     def state_for(self, parameter: Parameter) -> Optional[np.ndarray]:
         return self._velocity.get(id(parameter))
@@ -173,6 +187,7 @@ class Adam(Optimizer):
             m_hat = m / (1 - self.beta1 ** self._t)
             v_hat = v / (1 - self.beta2 ** self._t)
             parameter.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            self._write_through(parameter)
 
     def state_for(self, parameter: Parameter) -> Optional[np.ndarray]:
         return self._m.get(id(parameter))

@@ -18,6 +18,14 @@ from .engine import (
     MaskedParameter,
     SparsityManager,
 )
+from .dispatch import (
+    CALIBRATION_ENV,
+    DENSITY_GRID,
+    CalibrationTable,
+    clear_process_cache,
+    get_cutoff,
+    measure_crossover,
+)
 from .gmp import GMPSNN
 from .snip import SNIPSNN
 from .structured import StructuredFilterPruning, filter_norms
@@ -71,6 +79,12 @@ __all__ = [
     "SparsityManager",
     "EXECUTION_MODES",
     "DEFAULT_CSR_THRESHOLD",
+    "CALIBRATION_ENV",
+    "DENSITY_GRID",
+    "CalibrationTable",
+    "clear_process_cache",
+    "get_cutoff",
+    "measure_crossover",
     "NDSNN",
     "UpdateRecord",
     "SETSNN",

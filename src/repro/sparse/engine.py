@@ -34,19 +34,21 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple
 import numpy as np
 
 from ..nn.module import Module, Parameter
+from ..tensor.functional import STATIC_CSR_DENSITY_CUTOFF
 from .erk import build_distribution
 
 #: Execution modes for masked layers.  ``dense`` always multiplies the
 #: (already masked) dense weights; ``auto`` picks CSR when the measured
-#: layer density drops below the dispatch threshold; ``csr`` forces the
-#: sparse kernels.
+#: layer density drops below the dispatch cutoff (per-shape calibrated
+#: when a :class:`~repro.sparse.dispatch.CalibrationTable` is present,
+#: static otherwise); ``csr`` forces the sparse kernels.
 EXECUTION_MODES = ("dense", "auto", "csr")
 
-#: Default measured-density threshold below which ``auto`` execution
-#: routes a layer through the CSR kernels.  At ~25% density the CSR
-#: matmul overtakes the dense masked matmul on CPU (see
-#: ``benchmarks/bench_kernels.py``).
-DEFAULT_CSR_THRESHOLD = 0.25
+#: Static fallback density threshold for ``auto`` execution when no
+#: calibration table is attached.  Aliases the conservative cutoff in
+#: :mod:`repro.tensor.functional` so uncalibrated dispatch never takes
+#: a known-losing density through CSR (see ``benchmarks/bench_kernels``).
+DEFAULT_CSR_THRESHOLD = STATIC_CSR_DENSITY_CUTOFF
 
 
 def sparsifiable_parameters(model: Module, exclude: Iterable[str] = ()) -> List[Tuple[str, Parameter]]:
@@ -82,6 +84,7 @@ class MaskedParameter:
         "_csr_cache",
         "_count_cache",
         "_count_version",
+        "_values_dirty",
         "manager",
     )
 
@@ -94,7 +97,15 @@ class MaskedParameter:
         self._csr_cache = None
         self._count_cache: Optional[int] = None
         self._count_version = -1
+        self._values_dirty = True
         self.manager: Optional["SparsityManager"] = None
+        # Back-reference so code that mutates the raw parameter (the
+        # optimizer step, checkpoint restore, fault injection) can keep
+        # the CSR value cache coherent without knowing about managers.
+        try:
+            parameter._masked_state = self
+        except AttributeError:  # plain Tensor with __slots__: no cache
+            pass
 
     # ------------------------------------------------------------------
     # Counts / reporting
@@ -139,6 +150,7 @@ class MaskedParameter:
         """Mark the sparsity pattern as changed."""
         self.pattern_version += 1
         self._csr_cache = None
+        self._values_dirty = True
 
     def apply_mask(self) -> None:
         """Zero out masked weight entries (idempotent)."""
@@ -217,14 +229,56 @@ class MaskedParameter:
         """Cached CSR pattern of the current mask (lazy).
 
         Returns a :class:`~repro.sparse.storage.CSRPattern` keyed to the
-        current ``pattern_version``; weight *values* are gathered fresh
-        on every kernel call since they change each optimizer step.
+        current ``pattern_version``.  Weight *values* live in the
+        pattern's persistent buffer, maintained write-through by the
+        optimizer step (:meth:`write_through`); topology edits are the
+        only event that rebuilds the index structure.
         """
         if self._csr_cache is None:
             from .storage import CSRPattern
 
             self._csr_cache = CSRPattern.from_mask(self.mask)
+            self._values_dirty = True
         return self._csr_cache
+
+    def csr_values(self) -> np.ndarray:
+        """Active weight values in CSR order, refreshed only when stale.
+
+        On the steady-state training path the optimizer's write-through
+        hook keeps the buffer current, so this is a flag check plus a
+        buffer return — the per-forward re-gather the historical CSR
+        path paid is gone.
+        """
+        pattern = self.csr_pattern()
+        if self._values_dirty:
+            pattern.gather(self.parameter.data)
+            self._values_dirty = False
+        return pattern.values
+
+    def mark_values_dirty(self) -> None:
+        """Note an out-of-band weight mutation (checkpoint restore,
+        fault injection); the next :meth:`csr_values` re-gathers."""
+        self._values_dirty = True
+
+    def write_through(self) -> None:
+        """Refresh the cached CSR values after an in-place weight update.
+
+        Called by ``Optimizer.step`` right after it updates this
+        parameter.  When the layer is currently routed through the CSR
+        kernels the active values are written straight into the cached
+        buffer (one gather per *step*, amortized over every timestep
+        forward and input-gradient product); otherwise the refresh is
+        deferred with a dirty flag so dense-mode training pays nothing.
+        """
+        self._values_dirty = True
+        cache = self._csr_cache
+        if cache is None:
+            return
+        manager = self.manager
+        if manager is None or not manager.use_csr(self):
+            return
+        cache.gather(self.parameter.data)
+        self._values_dirty = False
 
     def __repr__(self) -> str:
         return (
@@ -276,6 +330,10 @@ class SparsityManager:
         self.rng = rng if rng is not None else np.random.default_rng()
         self.execution = "dense"
         self.csr_threshold = DEFAULT_CSR_THRESHOLD
+        #: Optional per-shape measured dispatch table
+        #: (:class:`~repro.sparse.dispatch.CalibrationTable`); when
+        #: present it overrides ``csr_threshold`` under ``auto``.
+        self.calibration = None
         self._bound = False
 
     # ------------------------------------------------------------------
@@ -426,12 +484,20 @@ class SparsityManager:
     # ------------------------------------------------------------------
     # Layer binding / execution dispatch
     # ------------------------------------------------------------------
-    def bind_layers(self, execution: Optional[str] = None, threshold: Optional[float] = None) -> int:
+    def bind_layers(
+        self,
+        execution: Optional[str] = None,
+        threshold: Optional[float] = None,
+        calibrate: bool = False,
+    ) -> int:
         """Attach per-layer state to the owning nn modules.
 
         After binding, ``Linear``/``Conv2d`` forward passes consult the
         state and (under ``auto``/``csr`` execution) run the CSR fast
-        path.  Returns the number of layers bound.
+        path.  ``calibrate=True`` additionally builds the measured
+        per-shape dispatch table for ``auto`` execution (opt-in: plain
+        binds keep the static threshold so cheap test harnesses never
+        pay for timing runs).  Returns the number of layers bound.
         """
         if execution is not None:
             self.set_execution(execution)
@@ -445,6 +511,8 @@ class SparsityManager:
                 object.__setattr__(module, "weight_state", by_parameter[id(weight)])
                 bound += 1
         self._bound = True
+        if calibrate and self.execution == "auto":
+            self.calibrate()
         return bound
 
     def unbind_layers(self) -> None:
@@ -454,7 +522,7 @@ class SparsityManager:
                 object.__setattr__(module, "weight_state", None)
         self._bound = False
 
-    def set_execution(self, execution: str) -> None:
+    def set_execution(self, execution: str, calibrate: bool = False) -> None:
         if execution not in EXECUTION_MODES:
             raise ValueError(
                 f"unknown execution mode {execution!r} (choose from {EXECUTION_MODES})"
@@ -462,14 +530,83 @@ class SparsityManager:
         self.execution = execution
         if execution != "dense" and not self._bound:
             self.bind_layers()
+        if calibrate and execution == "auto":
+            self.calibrate()
+
+    def calibrate(self, measure=None):
+        """Build (or extend) the measured per-shape dispatch table.
+
+        Cutoffs come from :func:`repro.sparse.dispatch.get_cutoff`,
+        which consults the shared write-once cache so every process of
+        a sweep converges on identical dispatch decisions.  ``measure``
+        is injectable for tests.  Returns the table.
+        """
+        from .dispatch import CalibrationTable, measure_crossover
+
+        table = self.calibration if self.calibration is not None else CalibrationTable()
+        table.calibrate_shapes(
+            (state.shape for state in self.states.values()),
+            measure=measure if measure is not None else measure_crossover,
+        )
+        self.calibration = table
+        return table
 
     def use_csr(self, state: MaskedParameter) -> bool:
         """Dispatch decision for one layer, by measured density."""
         if self.execution == "csr":
             return True
         if self.execution == "auto":
-            return state.density() <= self.csr_threshold
+            return state.density() <= self._cutoff_for(state)
         return False
+
+    def _cutoff_for(self, state: MaskedParameter) -> float:
+        if self.calibration is not None:
+            cutoff = self.calibration.cutoff_for(state.shape)
+            if cutoff is not None:
+                return cutoff
+        return self.csr_threshold
+
+    def explain_dispatch(self, name: str) -> Dict:
+        """Inspectable dispatch decision for one layer.
+
+        Returns shape, measured density, the effective density cutoff
+        and where it came from (``calibrated`` table or ``static``
+        fallback), and the route the next forward will take.
+        """
+        from .dispatch import matrix_shape
+
+        state = self.states[name]
+        calibrated = (
+            self.calibration.cutoff_for(state.shape)
+            if self.calibration is not None
+            else None
+        )
+        cutoff = calibrated if calibrated is not None else self.csr_threshold
+        if self.execution == "auto":
+            route = "csr" if state.density() <= cutoff else "dense"
+        else:
+            route = "csr" if self.execution == "csr" else "dense"
+        return {
+            "layer": name,
+            "shape": matrix_shape(state.shape),
+            "density": round(state.density(), 4),
+            "cutoff": round(float(cutoff), 4),
+            "cutoff_source": "calibrated" if calibrated is not None else "static",
+            "execution": self.execution,
+            "route": route,
+        }
+
+    def refresh_values(self) -> None:
+        """Eagerly rebuild CSR values for layers on the CSR route.
+
+        Called after topology edits so the index rebuild and the value
+        gather happen at the mask-update site, not on the next forward.
+        """
+        if self.execution == "dense":
+            return
+        for state in self.states.values():
+            if self.use_csr(state):
+                state.csr_values()
 
     def __repr__(self) -> str:
         return (
@@ -539,12 +676,22 @@ class SparseTrainingMethod:
     def setup(self) -> None:
         """Initialise masks; called once from :meth:`bind`."""
 
-    def set_execution(self, execution: str, threshold: Optional[float] = None) -> None:
-        """Select dense/auto/csr execution for the masked layers."""
+    def set_execution(
+        self,
+        execution: str,
+        threshold: Optional[float] = None,
+        calibrate: bool = False,
+    ) -> None:
+        """Select dense/auto/csr execution for the masked layers.
+
+        ``calibrate=True`` builds the measured per-shape dispatch table
+        when ``execution`` is ``auto`` (the experiment runners pass it;
+        direct engine users opt in explicitly).
+        """
         if self.masks is not None:
             if threshold is not None:
                 self.masks.csr_threshold = float(threshold)
-            self.masks.set_execution(execution)
+            self.masks.set_execution(execution, calibrate=calibrate)
 
     # ------------------------------------------------------------------
     # Per-iteration hooks
@@ -819,6 +966,10 @@ class DropGrowMethod(SparseTrainingMethod):
             record.dropped[name] = int(dropped.size)
             record.grown[name] = int(grown.size)
         self.masks.apply_masks()
+        # Write-through at the mask-update site: rebuild the CSR index
+        # and values here (the only index-rebuild event) so the next
+        # forward starts warm.
+        self.masks.refresh_values()
         record.sparsity_after = self.masks.sparsity()
         self.history.append(record)
         self._record_mask_update(record)

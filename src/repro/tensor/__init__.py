@@ -6,9 +6,19 @@ to train convolutional spiking neural networks with BPTT.
 """
 
 from .tensor import Tensor, concatenate, is_grad_enabled, no_grad, stack, where
-from .conv import avg_pool2d, col2im, conv2d, conv_output_shape, im2col, max_pool2d
+from .conv import (
+    avg_pool2d,
+    col2im,
+    col2im_t,
+    conv2d,
+    conv_output_shape,
+    im2col,
+    im2col_t,
+    max_pool2d,
+)
 from .functional import (
     DISPATCH_COUNTS,
+    STATIC_CSR_DENSITY_CUTOFF,
     accuracy,
     cross_entropy,
     log_softmax,
@@ -32,8 +42,11 @@ __all__ = [
     "avg_pool2d",
     "max_pool2d",
     "im2col",
+    "im2col_t",
     "col2im",
+    "col2im_t",
     "conv_output_shape",
+    "STATIC_CSR_DENSITY_CUTOFF",
     "log_softmax",
     "softmax",
     "cross_entropy",

@@ -58,6 +58,68 @@ def im2col(x: np.ndarray, kernel: Tuple[int, int], stride: Tuple[int, int], padd
     return view.reshape(n, c * kh * kw, out_h * out_w).copy()
 
 
+def im2col_t(x: np.ndarray, kernel: Tuple[int, int], stride: Tuple[int, int], padding: Tuple[int, int]) -> np.ndarray:
+    """Patch lowering directly in the ``(K, N*L)`` layout.
+
+    The CSR conv kernel consumes its right operand as a
+    ``(C*kh*kw, N*out_h*out_w)`` matrix.  :func:`im2col` produces
+    ``(N, K, L)`` and the caller would pay a second transpose copy to
+    reach that layout; here the strided view is ordered ``(c, kh, kw,
+    n, oh, ow)`` so the single reshape copy lands in kernel layout.
+    """
+    n, c, h, w = x.shape
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    out_h = conv_output_shape(h, kh, sh, ph)
+    out_w = conv_output_shape(w, kw, sw, pw)
+    if ph or pw:
+        x = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+
+    # Strided view: (C, kh, kw, N, out_h, out_w)
+    s0, s1, s2, s3 = x.strides
+    view = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(c, kh, kw, n, out_h, out_w),
+        strides=(s1, s2, s3, s0, s2 * sh, s3 * sw),
+        writeable=False,
+    )
+    return view.reshape(c * kh * kw, n * out_h * out_w)
+
+
+def col2im_t(
+    cols_t: np.ndarray,
+    input_shape: Tuple[int, int, int, int],
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+) -> np.ndarray:
+    """Inverse of :func:`im2col_t`: scatter-add ``(K, N*L)`` columns back.
+
+    Used by the CSR conv backward: the transposed sparse product emits
+    the input gradient already in ``(K, N*L)`` layout, so scattering
+    from it directly skips the transpose copy the ``(N, K, L)`` route
+    would need.
+    """
+    n, c, h, w = input_shape
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    out_h = conv_output_shape(h, kh, sh, ph)
+    out_w = conv_output_shape(w, kw, sw, pw)
+
+    padded = np.zeros((n, c, h + 2 * ph, w + 2 * pw), dtype=cols_t.dtype)
+    cols6 = cols_t.reshape(c, kh, kw, n, out_h, out_w)
+    for i in range(kh):
+        i_end = i + sh * out_h
+        for j in range(kw):
+            j_end = j + sw * out_w
+            padded[:, :, i:i_end:sh, j:j_end:sw] += cols6[:, i, j].transpose(1, 0, 2, 3)
+    if ph or pw:
+        return padded[:, :, ph:h + ph, pw:w + pw]
+    return padded
+
+
 def col2im(
     cols: np.ndarray,
     input_shape: Tuple[int, int, int, int],

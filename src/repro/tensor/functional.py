@@ -19,18 +19,41 @@ from __future__ import annotations
 
 import numpy as np
 
-from .conv import col2im, conv_output_shape, im2col
+from .conv import col2im_t, conv_output_shape, im2col_t
 from .tensor import Tensor, is_grad_enabled
 
 #: Dispatch counters (reset freely in tests/benches): how many forward
 #: calls took each route since process start.
 DISPATCH_COUNTS = {"dense": 0, "csr": 0}
 
+#: Static fallback density cutoff for ``auto`` execution when no
+#: measured calibration table is available.  Deliberately conservative:
+#: ``BENCH_kernels.json`` shows CSR is a *slowdown* at 50% density and
+#: only clearly ahead below ~15–20%, so the uncalibrated dispatcher
+#: must never route a known-losing density through the sparse kernels.
+#: Calibrated dispatch (``repro.sparse.dispatch``) replaces this with a
+#: per-shape measured crossover.
+STATIC_CSR_DENSITY_CUTOFF = 0.15
+
 
 def _use_csr(state) -> bool:
     if state is None or getattr(state, "manager", None) is None:
         return False
     return state.manager.use_csr(state)
+
+
+def _csr_values(state, pattern, weight) -> np.ndarray:
+    """Active weight values in CSR order.
+
+    Real :class:`~repro.sparse.engine.MaskedParameter` states keep a
+    write-through value cache refreshed by the optimizer step, so this
+    is a no-copy read on the training hot path.  Minimal states (tests,
+    external callers) without the cache fall back to a per-call gather.
+    """
+    values = getattr(state, "csr_values", None)
+    if values is not None:
+        return values()
+    return pattern.gather(weight)
 
 
 def masked_linear(x: Tensor, weight: Tensor, bias: Tensor = None, state=None) -> Tensor:
@@ -48,7 +71,7 @@ def masked_linear(x: Tensor, weight: Tensor, bias: Tensor = None, state=None) ->
         return out
     DISPATCH_COUNTS["csr"] += 1
     pattern = state.csr_pattern()
-    data = pattern.gather(weight.data)
+    data = _csr_values(state, pattern, weight.data)
     out_data = pattern.matmul(data, x.data.T).T
     if bias is not None:
         out_data = out_data + bias.data
@@ -82,9 +105,13 @@ def masked_conv2d(
 ) -> Tensor:
     """2-D convolution with density-based dense/CSR dispatch.
 
-    The CSR route lowers the input with im2col exactly like the dense
-    kernel, then multiplies the ``(F, C*kh*kw)`` filter matrix in CSR
-    form.
+    The CSR route is a direct sparse-filter kernel: the input is
+    lowered once, straight into the ``(C*kh*kw, N*L)`` layout the
+    sparse product consumes (:func:`~repro.tensor.conv.im2col_t`), so
+    the hot loop pays a single copy where the historical im2col +
+    transpose route paid two.  The backward reuses the same lowering
+    for the weight gradient and scatters the input gradient from the
+    transposed layout without any intermediate copy.
     """
     if not _use_csr(state):
         DISPATCH_COUNTS["dense"] += 1
@@ -101,14 +128,12 @@ def masked_conv2d(
         raise ValueError(f"input channels {c} do not match weight channels {c_w}")
     out_h = conv_output_shape(h, kh, stride_p[0], padding_p[0])
     out_w = conv_output_shape(w, kw, stride_p[1], padding_p[1])
+    length = out_h * out_w
 
-    cols = im2col(x.data, (kh, kw), stride_p, padding_p)  # (N, K, L)
-    k = cols.shape[1]
-    length = cols.shape[2]
-    cols_mat = cols.transpose(1, 0, 2).reshape(k, n * length)
+    cols_t = im2col_t(x.data, (kh, kw), stride_p, padding_p)  # (K, N*L)
     pattern = state.csr_pattern()
-    data = pattern.gather(weight.data)
-    out_mat = pattern.matmul(data, cols_mat)  # (F, N*L)
+    data = _csr_values(state, pattern, weight.data)
+    out_mat = pattern.matmul(data, cols_t)  # (F, N*L)
     out_data = out_mat.reshape(f, n, length).transpose(1, 0, 2).reshape(n, f, out_h, out_w)
     if bias is not None:
         out_data = out_data + bias.data.reshape(1, f, 1, 1)
@@ -119,17 +144,17 @@ def masked_conv2d(
                  _prev=parents if requires else (), _op="masked_conv2d")
 
     def backward(grad: np.ndarray) -> None:
-        grad_mat = grad.reshape(n, f, length)
+        grad_flat = grad.reshape(n, f, length).transpose(1, 0, 2).reshape(f, n * length)
         if weight.requires_grad:
-            grad_w = np.einsum("nfl,nkl->fk", grad_mat, cols, optimize=True)
+            # Dense weight gradient (regrowth scores need inactive
+            # positions too); one BLAS product against the lowering.
+            grad_w = grad_flat @ cols_t.T
             weight._accumulate(grad_w.reshape(weight.shape))
         if bias is not None and bias.requires_grad:
             bias._accumulate(grad.sum(axis=(0, 2, 3)))
         if x.requires_grad:
-            grad_flat = grad_mat.transpose(1, 0, 2).reshape(f, n * length)
-            grad_cols = pattern.t_matmul(data, grad_flat)  # (K, N*L)
-            grad_cols = grad_cols.reshape(k, n, length).transpose(1, 0, 2)
-            x._accumulate(col2im(grad_cols, (n, c, h, w), (kh, kw), stride_p, padding_p))
+            grad_cols_t = pattern.t_matmul(data, grad_flat)  # (K, N*L)
+            x._accumulate(col2im_t(grad_cols_t, (n, c, h, w), (kh, kw), stride_p, padding_p))
 
     out._backward = backward
     return out

@@ -165,6 +165,12 @@ def save_training_state(
         "method": method.state_meta(),
         "history": [stats.as_dict() for stats in history or []],
     }
+    # The measured dispatch table travels with the run: a resumed worker
+    # restores these cutoffs instead of re-timing, so its dense-vs-CSR
+    # routing (and therefore its arithmetic) is bit-identical to the
+    # uninterrupted run even on different hardware.
+    if method.masks is not None and method.masks.calibration is not None:
+        metadata["calibration"] = method.masks.calibration.to_meta()
 
     def write_npz(tmp: Path) -> None:
         with open(tmp, "wb") as handle:
@@ -217,6 +223,13 @@ def load_training_state(path: Union[str, Path], trainer) -> Dict:
         method.masks.load_masks(masks)
     method.load_state_arrays(method_arrays)
     method.load_state_meta(metadata.get("method", {}))
+    calibration_meta = metadata.get("calibration")
+    if calibration_meta and method.masks is not None:
+        from ..sparse.dispatch import CalibrationTable
+
+        # Overrides any freshly measured table: checkpointed dispatch
+        # decisions win so resume stays bit-identical.
+        method.masks.calibration = CalibrationTable.from_meta(calibration_meta)
 
     optimizer_meta = dict(metadata.get("optimizer", {}))
     lr = optimizer_meta.pop("lr", None)

@@ -18,6 +18,7 @@ FIELDS = [
     "density",
     "spike_rate",
     "learning_rate",
+    "csr_dispatch_share",
 ]
 
 
@@ -47,6 +48,9 @@ def read_history_csv(path: Union[str, Path]) -> List[EpochStats]:
                     density=float(row["density"]),
                     spike_rate=float(row["spike_rate"]),
                     learning_rate=float(row["learning_rate"]),
+                    # CSVs written before this column existed read back
+                    # with the default share.
+                    csr_dispatch_share=float(row.get("csr_dispatch_share") or 0.0),
                 )
             )
     return out

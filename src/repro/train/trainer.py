@@ -24,6 +24,7 @@ from ..optim import LRScheduler, Optimizer
 from ..snn.functional import reset_spike_stats, spike_rate
 from ..sparse.base import SparseTrainingMethod
 from ..tensor import Tensor, cross_entropy
+from ..tensor.functional import DISPATCH_COUNTS
 from .hooks import CallbackList, ConsoleLogger, MethodCallback, TrainerCallback
 from .metrics import AverageMeter, evaluate
 
@@ -40,6 +41,10 @@ class EpochStats:
     density: float
     spike_rate: float
     learning_rate: float
+    #: Fraction of masked-kernel calls this epoch that took the CSR
+    #: route (0.0 under dense execution).  Defaults so histories saved
+    #: by older checkpoints still reconstruct.
+    csr_dispatch_share: float = 0.0
 
     def as_dict(self) -> dict:
         return {
@@ -51,6 +56,7 @@ class EpochStats:
             "density": self.density,
             "spike_rate": self.spike_rate,
             "learning_rate": self.learning_rate,
+            "csr_dispatch_share": self.csr_dispatch_share,
         }
 
 
@@ -190,7 +196,13 @@ class Trainer:
         for epoch in range(start_epoch, epochs):
             self.callbacks.fire("on_epoch_start", self, epoch)
             reset_spike_stats(self.model)
+            dispatch_before = dict(DISPATCH_COUNTS)
             train_loss, train_accuracy = self.train_epoch()
+            # Snapshot the dispatch counters around the training pass
+            # only, so evaluation passes don't dilute the share.
+            csr_calls = DISPATCH_COUNTS["csr"] - dispatch_before["csr"]
+            dense_calls = DISPATCH_COUNTS["dense"] - dispatch_before["dense"]
+            total_calls = csr_calls + dense_calls
             epoch_spike_rate = spike_rate(self.model)
             if self.scheduler is not None:
                 self.scheduler.step()
@@ -206,6 +218,7 @@ class Trainer:
                 density=self.method.density(),
                 spike_rate=epoch_spike_rate,
                 learning_rate=self.optimizer.lr,
+                csr_dispatch_share=(csr_calls / total_calls) if total_calls else 0.0,
             )
             result.history.append(stats)
             self.callbacks.fire("on_epoch_end", self, epoch, stats)

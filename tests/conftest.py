@@ -5,6 +5,29 @@ import pytest
 
 from repro.data import DataLoader, make_dataset
 from repro.snn.models import SpikingConvNet, SpikingMLP
+from repro.sparse.dispatch import CALIBRATION_ENV, clear_process_cache
+
+
+@pytest.fixture(scope="session", autouse=True)
+def calibration_cache(tmp_path_factory):
+    """Session-wide shared dispatch-calibration cache.
+
+    Every test (and every worker process it spawns) resolves dispatch
+    cutoffs through one write-once cache, so a shape is timed at most
+    once per session and all processes agree on the routing.
+    """
+    import os
+
+    directory = tmp_path_factory.mktemp("calibration")
+    previous = os.environ.get(CALIBRATION_ENV)
+    os.environ[CALIBRATION_ENV] = str(directory)
+    clear_process_cache()
+    yield directory
+    if previous is None:
+        os.environ.pop(CALIBRATION_ENV, None)
+    else:
+        os.environ[CALIBRATION_ENV] = previous
+    clear_process_cache()
 
 
 @pytest.fixture

@@ -378,6 +378,56 @@ class TestCrashRecovery:
         ]
         assert queue.status().in_flight == 0
 
+    def test_resumed_job_keeps_checkpointed_dispatch_decisions(
+        self, tmp_path, monkeypatch
+    ):
+        """Satellite: a crashed job resumed under *different* calibration
+        must restore the checkpointed table and finish byte-identical."""
+        import repro.sparse.dispatch as dispatch
+
+        def calibration_world(directory, cutoff):
+            monkeypatch.setenv(dispatch.CALIBRATION_ENV, str(directory))
+            dispatch.clear_process_cache()
+            monkeypatch.setattr(
+                dispatch, "measure_crossover",
+                lambda rows, cols, **kwargs: {"cutoff": cutoff, "buckets": {}},
+            )
+
+        config = scaled_config("cifar10", "convnet", "ndsnn", 0.9, **RESUME)
+        # World A: CSR wins everywhere.
+        calibration_world(tmp_path / "calib-a", 0.99)
+        golden = run_method(config)
+
+        spool = tmp_path / "spool"
+        queue = JobQueue(spool, lease_seconds=0.5, backoff_seconds=0.05)
+        (job_id,) = queue.submit([config])
+        # The forked worker inherits world A and dies after epoch 1.
+        crasher = fork_context().Process(
+            target=_worker_main, args=(str(spool), 0.5, 3, 0.05, 1, 1)
+        )
+        crasher.start()
+        crasher.join(timeout=60)
+        assert crasher.exitcode == 113
+        checkpoint_meta = json.loads(
+            (spool / "checkpoints" / f"{job_id}.json").read_text()
+        )
+        assert set(checkpoint_meta["calibration"].values()) == {0.99}
+
+        time.sleep(0.6)
+        assert queue.reap_expired() == [job_id]
+        time.sleep(0.1)
+
+        # World B: fresh measurement would route everything dense; the
+        # restored table must win so epochs 2-3 still run CSR kernels.
+        calibration_world(tmp_path / "calib-b", 0.0)
+        rescuer = QueueWorker(queue, poll_seconds=0.01)
+        assert rescuer.run() == 1
+        outcome = manifest_to_outcome(queue.results([job_id])[job_id])
+        assert [s.as_dict() for s in outcome.history] == [
+            s.as_dict() for s in golden.history
+        ]
+        dispatch.clear_process_cache()
+
     def test_scheduler_survives_all_workers_dying(self, tmp_path):
         """SweepScheduler drains in-process if its workers all crash."""
         config = scaled_config("cifar10", "convnet", "ndsnn", 0.9, **RESUME)

@@ -176,7 +176,7 @@ class TestMaskedConvCSR:
         for dense_g, csr_g in zip(grads["dense"], grads["csr"]):
             np.testing.assert_allclose(csr_g, dense_g, atol=1e-4)
 
-    @pytest.mark.parametrize("sparsity", (0.5, 0.9))
+    @pytest.mark.parametrize("sparsity", SPARSITIES)
     def test_gradcheck_against_finite_differences(self, sparsity):
         weight, mask, state = masked_layer_pair((3, 2, 3, 3), sparsity, seed=25)
         x = Tensor(np.random.default_rng(26).standard_normal((1, 2, 5, 5)).astype(np.float32),
@@ -220,22 +220,79 @@ class TestNumpyFallback:
         assert np.all(out[1] == 1.0)
 
 
+def load_bench_module():
+    import importlib.util
+    import os
+
+    path = os.path.join(os.path.dirname(__file__), "..", "..",
+                        "benchmarks", "bench_kernels.py")
+    spec = importlib.util.spec_from_file_location("bench_kernels", path)
+    bench = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(bench)
+    return bench
+
+
 @pytest.mark.smoke
 class TestBenchComparisonMode:
     def test_comparison_cell_is_correct_and_complete(self):
-        import importlib.util
-        import os
-
-        path = os.path.join(os.path.dirname(__file__), "..", "..",
-                            "benchmarks", "bench_kernels.py")
-        spec = importlib.util.spec_from_file_location("bench_kernels", path)
-        bench = importlib.util.module_from_spec(spec)
-        spec.loader.exec_module(bench)
+        bench = load_bench_module()
         cell = bench.compare_masked_matmul(64, 64, 8, 0.9, repeats=2)
         assert cell["max_abs_error"] < 1e-4
         for key in ("dense_us", "csr_kernel_us", "speedup_kernel",
-                    "speedup_with_refresh", "speedup_transposed"):
+                    "speedup_with_refresh", "speedup_transposed",
+                    "refresh_us", "refresh_overhead", "speedup_train_step"):
             assert cell[key] > 0.0
+
+    def test_conv_cell_is_correct_and_complete(self):
+        bench = load_bench_module()
+        cell = bench.compare_masked_conv(4, 3, 3, 8, 8, 2, 0.9, repeats=2)
+        assert cell["max_abs_error"] < 1e-4
+        assert cell["dense_us"] > 0.0 and cell["csr_us"] > 0.0
+
+
+@pytest.mark.smoke
+class TestBenchRegressionGate:
+    """The ``--check`` gate mechanism (not the machine-specific timings)."""
+
+    def test_self_baseline_passes_and_doctored_baseline_fails(self, tmp_path):
+        import json
+
+        bench = load_bench_module()
+        payload = bench.run_comparison(
+            shapes=((64, 64, 8),), sparsities=(0.9,),
+            conv_shapes=((4, 3, 3, 8, 8, 2),), repeats=2,
+        )
+        # A payload checked against itself can never regress.
+        assert bench.check_regressions(payload, payload) == []
+        # A baseline claiming far better numbers must trip the gate.
+        doctored = dict(payload)
+        doctored["best_speedup_at_90"] = payload["best_speedup_at_90"] * 100.0
+        failures = bench.check_regressions(doctored, payload)
+        assert any("best_speedup_at_90" in failure for failure in failures)
+
+    def test_check_cli_exit_codes(self, tmp_path):
+        import json
+
+        bench = load_bench_module()
+        payload = bench.run_comparison(
+            shapes=((64, 64, 8),), sparsities=(0.9,),
+            conv_shapes=((4, 3, 3, 8, 8, 2),), repeats=2,
+        )
+        good = tmp_path / "baseline.json"
+        # Headline floors of ~0 pass on any machine; this exercises the
+        # full --check path (load, compare, exit code) without timing
+        # flakiness.
+        relaxed = dict(payload)
+        for metric in bench.HEADLINE_METRICS:
+            relaxed[metric] = 1e-6
+        relaxed["refresh_overhead_at_90"] = 1e6
+        good.write_text(json.dumps(relaxed))
+        assert bench.main(["--check", str(good), "--repeats", "1"]) == 0
+        bad = tmp_path / "doctored.json"
+        doctored = dict(payload)
+        doctored["min_auto_speedup"] = 1e6
+        bad.write_text(json.dumps(doctored))
+        assert bench.main(["--check", str(bad), "--repeats", "1"]) == 1
 
 
 @pytest.mark.smoke

@@ -1,0 +1,186 @@
+"""Measured per-shape dispatch calibration (repro.sparse.dispatch).
+
+Covers the cutoff derivation from measured buckets, the write-once
+shared cache that makes concurrent calibration deterministic, the
+checkpoint round-trip of :class:`CalibrationTable`, and the
+manager/layer-level inspection API (``explain_dispatch`` /
+``dispatch_info``).
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Linear
+from repro.nn.module import Module
+from repro.sparse import SparsityManager
+from repro.sparse.dispatch import (
+    CALIBRATION_ENV,
+    DENSITY_GRID,
+    WIN_MARGIN,
+    CalibrationTable,
+    clear_process_cache,
+    get_cutoff,
+    matrix_shape,
+    measure_crossover,
+)
+
+
+@pytest.fixture
+def cache_dir(tmp_path, monkeypatch):
+    """Private calibration cache per test (shadows the session cache)."""
+    directory = tmp_path / "calib"
+    monkeypatch.setenv(CALIBRATION_ENV, str(directory))
+    clear_process_cache()
+    yield directory
+    clear_process_cache()
+
+
+def fake_measure(cutoff, calls=None):
+    """Injectable measurement returning a fixed cutoff."""
+
+    def measure(rows, cols, **kwargs):
+        if calls is not None:
+            calls.append((rows, cols))
+        return {"cutoff": cutoff, "buckets": {d: 2.0 for d in DENSITY_GRID}}
+
+    return measure
+
+
+class TestMeasureCrossover:
+    def test_returns_prefix_cutoff_and_buckets(self):
+        result = measure_crossover(48, 48, batch=4, repeats=1)
+        assert set(result) == {"cutoff", "buckets"}
+        assert set(result["buckets"]) == set(DENSITY_GRID)
+        # The cutoff is the largest prefix of winning buckets: every
+        # bucket at or below it must itself be a win.
+        for density, speedup in result["buckets"].items():
+            if density <= result["cutoff"]:
+                assert speedup >= WIN_MARGIN
+
+    def test_never_perturbs_global_rng(self):
+        np.random.seed(123)
+        before = np.random.get_state()[1].copy()
+        measure_crossover(32, 32, batch=2, repeats=1)
+        assert np.array_equal(np.random.get_state()[1], before)
+
+
+class TestGetCutoff:
+    def test_memoized_per_process(self, cache_dir):
+        calls = []
+        first = get_cutoff(64, 32, measure=fake_measure(0.25, calls))
+        second = get_cutoff(64, 32, measure=fake_measure(0.99, calls))
+        assert first == second == 0.25
+        assert calls == [(64, 32)]  # second call served from memory
+
+    def test_disk_cache_wins_over_fresh_measurement(self, cache_dir):
+        get_cutoff(16, 16, measure=fake_measure(0.2))
+        clear_process_cache()  # simulate a sibling process
+        adopted = get_cutoff(16, 16, measure=fake_measure(0.5))
+        assert adopted == 0.2
+
+    def test_write_once_file_is_published(self, cache_dir):
+        get_cutoff(8, 24, measure=fake_measure(0.35))
+        path = cache_dir / "calibration-8x24.json"
+        payload = json.loads(path.read_text())
+        assert payload["cutoff"] == 0.35
+        assert payload["rows"] == 8 and payload["cols"] == 24
+
+    def test_no_cache_dir_still_memoizes(self, monkeypatch):
+        monkeypatch.delenv(CALIBRATION_ENV, raising=False)
+        clear_process_cache()
+        calls = []
+        get_cutoff(40, 40, measure=fake_measure(0.15, calls))
+        get_cutoff(40, 40, measure=fake_measure(0.45, calls))
+        assert calls == [(40, 40)]
+        clear_process_cache()
+
+
+class TestCalibrationTable:
+    def test_calibrates_each_shape_once(self, cache_dir):
+        calls = []
+        table = CalibrationTable()
+        table.calibrate_shapes(
+            [(8, 16), (4, 2, 2, 2), (8, 16)], measure=fake_measure(0.3, calls)
+        )
+        assert len(table) == 2
+        assert sorted(calls) == [(4, 8), (8, 16)]
+        assert table.cutoff_for((4, 2, 2, 2)) == 0.3
+        assert table.cutoff_for((99, 99)) is None
+
+    def test_meta_round_trip(self):
+        table = CalibrationTable({(8, 16): 0.25, (32, 9): 0.1})
+        restored = CalibrationTable.from_meta(table.to_meta())
+        assert restored.cutoffs == table.cutoffs
+        assert CalibrationTable.from_meta({}) is None
+        assert CalibrationTable.from_meta(None) is None
+
+    def test_matrix_shape_reduction(self):
+        assert matrix_shape((6, 7)) == (6, 7)
+        assert matrix_shape((6, 3, 2, 2)) == (6, 12)
+
+
+class _Wrapper(Module):
+    def __init__(self, inner):
+        super().__init__()
+        self.inner = inner
+
+    def forward(self, x):
+        return self.inner(x)
+
+
+def make_bound_manager(density=0.05, execution="auto"):
+    rng = np.random.default_rng(50)
+    layer = Linear(32, 16, rng=rng)
+    model = _Wrapper(layer)
+    manager = SparsityManager(model, rng=rng)
+    manager.init_distribution("uniform", density)
+    manager.bind_layers(execution=execution)
+    return layer, manager
+
+
+class TestManagerCalibration:
+    def test_calibrate_builds_table_and_overrides_static(self, cache_dir):
+        layer, manager = make_bound_manager(density=0.3)
+        state = layer.weight_state
+        assert not manager.use_csr(state)  # static cutoff is 0.15
+        manager.calibrate(measure=fake_measure(0.5))
+        assert manager.use_csr(state)  # calibrated cutoff 0.5 > density 0.3
+
+    def test_plain_bind_does_not_measure(self, cache_dir):
+        _, manager = make_bound_manager()
+        assert manager.calibration is None
+
+    def test_bind_with_calibrate_measures(self, cache_dir, monkeypatch):
+        import repro.sparse.dispatch as dispatch
+
+        monkeypatch.setattr(dispatch, "measure_crossover", fake_measure(0.2))
+        rng = np.random.default_rng(51)
+        model = _Wrapper(Linear(32, 16, rng=rng))
+        manager = SparsityManager(model, rng=rng)
+        manager.init_distribution("uniform", 0.05)
+        manager.bind_layers(execution="auto", calibrate=True)
+        assert manager.calibration is not None
+        assert manager.calibration.cutoff_for((16, 32)) == 0.2
+
+    def test_explain_dispatch_reports_source_and_route(self, cache_dir):
+        layer, manager = make_bound_manager(density=0.05)
+        info = manager.explain_dispatch(next(iter(manager.states)))
+        assert info["cutoff_source"] == "static"
+        assert info["route"] == "csr"
+        assert info["shape"] == (16, 32)
+        manager.calibrate(measure=fake_measure(0.01))
+        info = manager.explain_dispatch(next(iter(manager.states)))
+        assert info["cutoff_source"] == "calibrated"
+        assert info["cutoff"] == 0.01
+        assert info["route"] == "dense"  # density ~0.05 > cutoff 0.01
+
+    def test_layer_dispatch_info_delegates(self, cache_dir):
+        layer, manager = make_bound_manager(density=0.05)
+        info = layer.dispatch_info()
+        assert info["layer"] == next(iter(manager.states))
+        assert info["execution"] == "auto"
+        unbound = Linear(4, 4, rng=np.random.default_rng(52))
+        assert unbound.dispatch_info() is None

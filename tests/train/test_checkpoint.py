@@ -166,6 +166,67 @@ class TestTrainingStateResume:
         assert len(metadata["history"]) == config.epochs
 
 
+def point_calibration_world(monkeypatch, directory, cutoff):
+    """Pin the dispatch calibration environment for one test phase.
+
+    Points the shared write-once cache at ``directory`` (fresh), clears
+    the per-process memoization, and replaces the timing measurement
+    with a constant — so routing decisions are controlled, not timed.
+    """
+    import repro.sparse.dispatch as dispatch
+
+    monkeypatch.setenv(dispatch.CALIBRATION_ENV, str(directory))
+    dispatch.clear_process_cache()
+    monkeypatch.setattr(
+        dispatch,
+        "measure_crossover",
+        lambda rows, cols, **kwargs: {"cutoff": cutoff, "buckets": {}},
+    )
+
+
+class TestCalibrationResume:
+    """Checkpointed dispatch decisions override fresh measurement.
+
+    A resumed run may land on a different machine (or a machine in a
+    different load state) whose fresh calibration would route layers
+    differently — and dense vs CSR kernels are not bit-identical.  The
+    checkpoint therefore persists the calibration table, and the
+    restored table must win over anything measured at resume time.
+    """
+
+    def test_resume_restores_table_and_stays_bit_identical(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.utils import load_json
+
+        config = scaled_config("cifar10", "convnet", "ndsnn", 0.9, **FAST)
+        sidecar = (tmp_path / "job").with_suffix(".json")
+
+        # World A: calibration says CSR wins everywhere.
+        point_calibration_world(monkeypatch, tmp_path / "calib-a", 0.99)
+        golden = run_experiment(config)
+        with pytest.raises(_InterruptTraining):
+            run_experiment(config, checkpoint_path=tmp_path / "job",
+                           extra_callbacks=[_StopAfter(1)])
+        saved = load_json(sidecar)["calibration"]
+        assert saved and set(saved.values()) == {0.99}
+
+        # World B: a fresh measurement would route everything dense.
+        point_calibration_world(monkeypatch, tmp_path / "calib-b", 0.0)
+        resumed = run_experiment(config, checkpoint_path=tmp_path / "job",
+                                 resume=True)
+        assert [s.as_dict() for s in resumed.history] == [
+            s.as_dict() for s in golden.history
+        ]
+        # The checkpoint written after resume still carries world A's
+        # table: the run never adopted world B's measurements.
+        assert set(load_json(sidecar)["calibration"].values()) == {0.99}
+
+        import repro.sparse.dispatch as dispatch
+
+        dispatch.clear_process_cache()
+
+
 class TestResumeWithAugmentation:
     def _fit(self, epochs, checkpoint=None, resume=False, fit_epochs=None):
         """Trainer over augmented loaders (transform RNGs in play)."""

@@ -11,7 +11,17 @@ Emits ``BENCH_sweep.json``::
 
 The default grid is 8 configs (4 methods x 2 sparsities) at the quick
 CPU profile; ``--epochs``/``--train-samples`` scale the per-job cost so
-the parallel speedup is visible above process-startup overhead.
+the parallel speedup is visible above process-startup overhead, and
+``--methods``/``--sparsities`` shrink the grid for quick gate runs.
+
+A regression gate over the committed numbers::
+
+    PYTHONPATH=src python benchmarks/bench_sweep_scaling.py --check BENCH_sweep.json
+
+re-times the grid and exits non-zero if the headline queue-backend
+speedup regressed by more than 15% or any backend's results diverge
+from the sequential reference (tier-1 runs the gate mechanism via a
+smoke test; only the speedup ratio is gated, never absolute times).
 """
 
 import argparse
@@ -23,16 +33,22 @@ from repro.experiments import run_sweep, scaled_config, sweep_configs
 
 METHODS = ("ndsnn", "set", "rigl", "gmp")
 SPARSITIES = (0.9, 0.95)
+#: The headline speedup may regress by at most this fraction before
+#: ``--check`` fails.
+CHECK_TOLERANCE = 0.15
+#: Headline metrics the regression gate compares (higher is better).
+HEADLINE_METRICS = ("best_queue_speedup",)
 
 
-def build_grid(epochs: int, train_samples: int):
+def build_grid(epochs: int, train_samples: int,
+               methods=METHODS, sparsities=SPARSITIES):
     base = scaled_config(
-        "cifar10", "convnet", METHODS[0], SPARSITIES[0],
+        "cifar10", "convnet", methods[0], sparsities[0],
         epochs=epochs, train_samples=train_samples,
         test_samples=max(16, train_samples // 4),
         timesteps=2, batch_size=16, update_frequency=4,
     )
-    return sweep_configs(base, list(METHODS), sparsities=list(SPARSITIES))
+    return sweep_configs(base, list(methods), sparsities=list(sparsities))
 
 
 def outcome_fingerprint(outcome):
@@ -52,8 +68,10 @@ def time_sweep(configs, backend: str, jobs: int):
     return time.perf_counter() - start, outcomes
 
 
-def run_scaling(epochs: int, train_samples: int, worker_counts):
-    configs = build_grid(epochs, train_samples)
+def run_scaling(epochs: int, train_samples: int, worker_counts,
+                methods=METHODS, sparsities=SPARSITIES):
+    configs = build_grid(epochs, train_samples,
+                         methods=methods, sparsities=sparsities)
     reference_seconds, reference = time_sweep(configs, "local", jobs=1)
     reference_prints = [outcome_fingerprint(outcome) for outcome in reference]
     cells = []
@@ -82,8 +100,8 @@ def run_scaling(epochs: int, train_samples: int, worker_counts):
         # speedup columns are meaningful relative to this.
         "cpu_count": os.cpu_count(),
         "grid_configs": len(configs),
-        "methods": list(METHODS),
-        "sparsities": list(SPARSITIES),
+        "methods": list(methods),
+        "sparsities": list(sparsities),
         "epochs": epochs,
         "train_samples": train_samples,
         "sequential_seconds": reference_seconds,
@@ -93,14 +111,54 @@ def run_scaling(epochs: int, train_samples: int, worker_counts):
     }
 
 
+def check_regressions(baseline, payload, tolerance=CHECK_TOLERANCE):
+    """Compare headline metrics against a committed baseline.
+
+    Returns a list of human-readable failure strings (empty = pass):
+    the queue-backend speedup may fall at most ``tolerance`` below the
+    committed ratio, and every backend must still reproduce the
+    sequential reference bit-for-bit.
+    """
+    failures = []
+    for metric in HEADLINE_METRICS:
+        base = baseline.get(metric)
+        if base is None:
+            continue  # older baselines predate this metric
+        current = payload[metric]
+        floor = base * (1.0 - tolerance)
+        if current < floor:
+            failures.append(
+                f"{metric}: {current:.3f} < {floor:.3f} "
+                f"(baseline {base:.3f} - {tolerance:.0%})"
+            )
+    if not payload["all_bit_identical"]:
+        failures.append(
+            "all_bit_identical: backend results diverged from the "
+            "sequential reference"
+        )
+    return failures
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description="sweep backend scaling comparison")
     parser.add_argument("--out", default="BENCH_sweep.json")
     parser.add_argument("--epochs", type=int, default=3)
     parser.add_argument("--train-samples", type=int, default=128)
     parser.add_argument("--workers", type=int, nargs="+", default=[1, 2, 4])
+    parser.add_argument("--methods", nargs="+", default=list(METHODS))
+    parser.add_argument("--sparsities", type=float, nargs="+",
+                        default=list(SPARSITIES))
+    parser.add_argument(
+        "--check", metavar="BASELINE", default=None,
+        help="re-time the grid and fail (exit 1) if the headline "
+             f"queue-throughput speedup regressed more than "
+             f"{CHECK_TOLERANCE:.0%} vs this JSON",
+    )
     args = parser.parse_args(argv)
-    payload = run_scaling(args.epochs, args.train_samples, args.workers)
+    payload = run_scaling(
+        args.epochs, args.train_samples, args.workers,
+        methods=tuple(args.methods), sparsities=tuple(args.sparsities),
+    )
     for cell in payload["cells"]:
         print(
             f"{cell['backend']:>5s} jobs={cell['jobs']}: "
@@ -111,6 +169,16 @@ def main(argv=None):
     print(f"best queue-backend speedup: {payload['best_queue_speedup']:.2f}x")
     if not payload["all_bit_identical"]:
         print("WARNING: backend results diverged from the sequential reference")
+    if args.check is not None:
+        with open(args.check) as handle:
+            baseline = json.load(handle)
+        failures = check_regressions(baseline, payload)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION {failure}")
+            return 1
+        print(f"no headline regression vs {args.check}")
+        return 0
     with open(args.out, "w") as handle:
         json.dump(payload, handle, indent=2)
     print(f"wrote {args.out}")

@@ -20,9 +20,11 @@ Subpackages
     Training loop, spike-rate tracking, cost and memory models.
 ``repro.experiments``
     Shared configs/runners used by the table/figure benchmarks.
+``repro.serve``
+    Async batched inference serving over trained checkpoints.
 """
 
-from . import data, experiments, nn, optim, snn, sparse, tensor, train
+from . import data, experiments, nn, optim, serve, snn, sparse, tensor, train
 
 __version__ = "1.0.0"
 
@@ -35,5 +37,6 @@ __all__ = [
     "data",
     "train",
     "experiments",
+    "serve",
     "__version__",
 ]

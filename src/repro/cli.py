@@ -86,6 +86,54 @@ def _build_parser() -> argparse.ArgumentParser:
     add_workload_arguments(run)
     run.add_argument("--method", default="ndsnn", choices=METHOD_CHOICES)
     run.add_argument("--quiet", action="store_true")
+    run.add_argument(
+        "--checkpoint", default=None,
+        help="save the resumable training state here every epoch; the "
+             "same path feeds `repro serve` / `repro infer` afterwards",
+    )
+
+    def add_serving_arguments(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument(
+            "--checkpoint", required=True,
+            help="checkpoint written by `repro run --checkpoint` (or any "
+                 "save_checkpoint/save_training_state file)",
+        )
+        parser.add_argument("--method", default="ndsnn", choices=METHOD_CHOICES + ("structured",))
+        parser.add_argument(
+            "--compact", action="store_true",
+            help="physically remove structurally-pruned filters at load "
+                 "time (smaller dense kernels; see compact_model)",
+        )
+        parser.add_argument(
+            "--max-batch", type=int, default=8,
+            help="canonical serving batch size (requests are padded to "
+                 "it so results never depend on batching)",
+        )
+
+    infer = commands.add_parser(
+        "infer", help="evaluate a checkpoint through the serving engine"
+    )
+    add_workload_arguments(infer)
+    add_serving_arguments(infer)
+
+    serve = commands.add_parser(
+        "serve", help="run the batched inference server under synthetic load"
+    )
+    add_workload_arguments(serve)
+    add_serving_arguments(serve)
+    serve.add_argument("--workers", type=int, default=2, help="worker thread count")
+    serve.add_argument(
+        "--max-latency-ms", type=float, default=5.0,
+        help="micro-batch flush deadline (oldest request age)",
+    )
+    serve.add_argument(
+        "--requests", type=int, default=64,
+        help="synthetic closed-loop requests to issue",
+    )
+    serve.add_argument(
+        "--clients", type=int, default=4,
+        help="concurrent closed-loop client threads",
+    )
 
     def add_queue_arguments(parser: argparse.ArgumentParser, spool_required: bool) -> None:
         # Defaults are applied in _queue_params, not here, so the sweep
@@ -200,7 +248,11 @@ def _config_from_args(args: argparse.Namespace, method: str):
 
 def _command_run(args: argparse.Namespace) -> int:
     config = _config_from_args(args, args.method)
-    outcome = run_method(config, verbose=not args.quiet)
+    outcome = run_method(
+        config,
+        verbose=not args.quiet,
+        checkpoint_path=args.checkpoint,
+    )
     summary = {
         "dataset": args.dataset,
         "model": args.model,
@@ -350,6 +402,141 @@ def _command_sweep_status(args: argparse.Namespace) -> int:
     return 0 if status.failed == 0 else 1
 
 
+def _serving_registry(args: argparse.Namespace):
+    """Registry with the checkpoint from ``args`` under name 'model'."""
+    from .serve import ModelRegistry
+
+    config = _config_from_args(args, args.method)
+    registry = ModelRegistry()
+    registry.load_checkpoint(
+        "model",
+        config,
+        args.checkpoint,
+        execution=args.execution,
+        compact=args.compact,
+        max_batch=args.max_batch,
+    )
+    return registry, config
+
+
+def _command_infer(args: argparse.Namespace) -> int:
+    from .experiments.runner import build_loaders
+
+    registry, config = _serving_registry(args)
+    session = registry.session("model")
+    _, test_loader, _ = build_loaders(config)
+    correct = 0
+    seen = 0
+    for images, labels in test_loader:
+        predictions = session.predict(images.data).argmax(axis=1)
+        correct += int((predictions == labels).sum())
+        seen += len(labels)
+    accuracy = correct / seen if seen else 0.0
+    dispatch = session.dispatch_report()
+    storage = session.storage_report()
+    print(
+        format_table(
+            ["layer", "shape", "density", "route", "cutoff_source"],
+            [(d["layer"], "x".join(map(str, d["shape"])), d["density"],
+              d["route"], d["cutoff_source"]) for d in dispatch],
+            title=f"serving dispatch (execution={args.execution}, "
+                  f"compact={args.compact})",
+        )
+    )
+    print(f"test accuracy: {accuracy:.4f} over {seen} samples")
+    if args.out:
+        save_json(args.out, {
+            "accuracy": accuracy,
+            "samples": seen,
+            "compact": args.compact,
+            "execution": args.execution,
+            "dispatch": dispatch,
+            "storage": storage,
+        })
+        print(f"wrote {args.out}")
+    return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    import threading
+    import time as _time
+
+    import numpy as np
+
+    from .experiments.runner import build_loaders
+    from .serve import InferenceServer
+
+    registry, config = _serving_registry(args)
+    _, test_loader, _ = build_loaders(config)
+    samples = np.concatenate([images.data for images, _ in test_loader], axis=0)
+    if args.requests < 1 or args.clients < 1:
+        print("error: --requests and --clients must be >= 1", file=sys.stderr)
+        return 2
+    server = InferenceServer(
+        lambda: registry.session("model"),
+        workers=args.workers,
+        max_batch=args.max_batch,
+        max_latency_s=args.max_latency_ms / 1000.0,
+    )
+    latencies: List[float] = []
+    latency_lock = threading.Lock()
+
+    def client(count: int) -> None:
+        rng = np.random.default_rng()
+        for _ in range(count):
+            sample = samples[rng.integers(0, len(samples))]
+            begin = _time.perf_counter()
+            server.predict(sample, timeout=60.0)
+            elapsed = _time.perf_counter() - begin
+            with latency_lock:
+                latencies.append(elapsed)
+
+    per_client = [args.requests // args.clients] * args.clients
+    per_client[0] += args.requests % args.clients
+    server.start()
+    wall_begin = _time.perf_counter()
+    threads = [
+        threading.Thread(target=client, args=(count,)) for count in per_client
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = _time.perf_counter() - wall_begin
+    server.stop()
+    stats = server.stats()
+    ordered = np.sort(latencies)
+    p50 = float(np.percentile(ordered, 50)) * 1000.0
+    p99 = float(np.percentile(ordered, 99)) * 1000.0
+    throughput = len(latencies) / wall if wall > 0 else 0.0
+    print(
+        format_table(
+            ["requests", "workers", "max_batch", "p50_ms", "p99_ms",
+             "req_per_s", "batches", "restarts"],
+            [(len(latencies), args.workers, args.max_batch, f"{p50:.2f}",
+              f"{p99:.2f}", f"{throughput:.1f}", stats["batches"],
+              stats["restarts"])],
+            title=f"serving load (execution={args.execution}, "
+                  f"compact={args.compact})",
+        )
+    )
+    if args.out:
+        save_json(args.out, {
+            "requests": len(latencies),
+            "workers": args.workers,
+            "max_batch": args.max_batch,
+            "clients": args.clients,
+            "p50_ms": p50,
+            "p99_ms": p99,
+            "throughput_rps": throughput,
+            "stats": stats,
+            "compact": args.compact,
+            "execution": args.execution,
+        })
+        print(f"wrote {args.out}")
+    return 0
+
+
 def _command_list(_args: argparse.Namespace) -> int:
     print("datasets:", ", ".join(sorted(DATASET_SPECS)))
     print("models  :", ", ".join(sorted(MODEL_REGISTRY)))
@@ -386,6 +573,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
         "run": _command_run,
+        "infer": _command_infer,
+        "serve": _command_serve,
         "sweep": _command_sweep,
         "worker": _command_worker,
         "sweep-status": _command_sweep_status,

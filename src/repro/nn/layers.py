@@ -20,6 +20,18 @@ def _layer_dispatch_info(layer) -> Optional[dict]:
     return state.manager.explain_dispatch(state.name)
 
 
+def _keep_index(keep, bound: int, what: str) -> np.ndarray:
+    """Validate a keep-index array for :meth:`compact` (sorted, in range)."""
+    index = np.asarray(keep, dtype=np.int64).reshape(-1)
+    if index.size == 0:
+        raise ValueError(f"compact() must keep at least one {what}")
+    if index.min() < 0 or index.max() >= bound:
+        raise ValueError(f"{what} keep indices out of range [0, {bound})")
+    if np.any(np.diff(index) <= 0):
+        raise ValueError(f"{what} keep indices must be sorted and unique")
+    return index
+
+
 class Linear(Module):
     """Affine layer ``y = x W^T + b`` with weight shape ``(out, in)``.
 
@@ -56,6 +68,32 @@ class Linear(Module):
         forward will take and why.
         """
         return _layer_dispatch_info(self)
+
+    def compact(self, keep_out=None, keep_in=None) -> "Linear":
+        """Physically shrink the layer to the kept output/input features.
+
+        Structured pruning zeroes whole weight rows but still pays dense
+        FLOPs for them; compaction slices the pruned rows (``keep_out``)
+        and the input columns fed by upstream pruned units (``keep_in``)
+        out of the weight matrix, so the layer runs a genuinely smaller
+        kernel.  Any bound ``weight_state`` is detached — the caller
+        (see :func:`repro.sparse.structured.compact_model`) rebinds a
+        fresh manager over the sliced shapes.
+        """
+        weight = self.weight.data
+        if keep_out is not None:
+            keep_out = _keep_index(keep_out, self.out_features, "output feature")
+            weight = weight[keep_out]
+            if self.bias is not None:
+                self.bias = Parameter(self.bias.data[keep_out].copy())
+            self.out_features = int(keep_out.size)
+        if keep_in is not None:
+            keep_in = _keep_index(keep_in, self.in_features, "input feature")
+            weight = weight[:, keep_in]
+            self.in_features = int(keep_in.size)
+        self.weight = Parameter(np.ascontiguousarray(weight))
+        self.weight_state = None
+        return self
 
     def __repr__(self) -> str:
         return f"Linear(in={self.in_features}, out={self.out_features}, bias={self.bias is not None})"
@@ -102,6 +140,24 @@ class Conv2d(Module):
         """Dispatch decision for this layer, or ``None`` when unbound."""
         return _layer_dispatch_info(self)
 
+    def compact(self, keep_out=None, keep_in=None) -> "Conv2d":
+        """Physically remove pruned filters (``keep_out``) and the input
+        channels of upstream pruned filters (``keep_in``)."""
+        weight = self.weight.data
+        if keep_out is not None:
+            keep_out = _keep_index(keep_out, self.out_channels, "filter")
+            weight = weight[keep_out]
+            if self.bias is not None:
+                self.bias = Parameter(self.bias.data[keep_out].copy())
+            self.out_channels = int(keep_out.size)
+        if keep_in is not None:
+            keep_in = _keep_index(keep_in, self.in_channels, "input channel")
+            weight = weight[:, keep_in]
+            self.in_channels = int(keep_in.size)
+        self.weight = Parameter(np.ascontiguousarray(weight))
+        self.weight_state = None
+        return self
+
     def __repr__(self) -> str:
         return (
             f"Conv2d({self.in_channels}, {self.out_channels}, "
@@ -145,8 +201,22 @@ class BatchNorm2d(Module):
         shift = self.bias.reshape(1, self.num_features, 1, 1)
         return x_hat * scale + shift
 
+    def compact(self, keep) -> "BatchNorm2d":
+        """Shrink to the kept channels (affine params + running stats)."""
+        _compact_batchnorm(self, keep)
+        return self
+
     def __repr__(self) -> str:
         return f"BatchNorm2d({self.num_features})"
+
+
+def _compact_batchnorm(layer, keep) -> None:
+    keep = _keep_index(keep, layer.num_features, "channel")
+    layer.weight = Parameter(layer.weight.data[keep].copy())
+    layer.bias = Parameter(layer.bias.data[keep].copy())
+    layer.update_buffer("running_mean", layer.running_mean[keep].copy())
+    layer.update_buffer("running_var", layer.running_var[keep].copy())
+    layer.num_features = int(keep.size)
 
 
 class BatchNorm1d(Module):
@@ -182,6 +252,11 @@ class BatchNorm1d(Module):
             var = Tensor(self.running_var.reshape(1, -1))
         x_hat = (x - mean) / (var + self.eps).sqrt()
         return x_hat * self.weight.reshape(1, -1) + self.bias.reshape(1, -1)
+
+    def compact(self, keep) -> "BatchNorm1d":
+        """Shrink to the kept features (affine params + running stats)."""
+        _compact_batchnorm(self, keep)
+        return self
 
 
 class AvgPool2d(Module):

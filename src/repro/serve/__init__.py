@@ -1,0 +1,30 @@
+"""Inference serving: registry, micro-batching, supervised workers.
+
+The training side of the repository produces checkpoints; this package
+turns them into a service.  Three pieces compose:
+
+* :class:`~repro.serve.registry.ModelRegistry` — named model factories;
+  each worker gets its *own* :class:`~repro.serve.registry.InferenceSession`
+  (spiking forwards are stateful through the neuron membranes, so
+  sessions are never shared across threads).  Sessions run the engine
+  inference-frozen (read-only CSR buffers, no dense grads) and pad
+  every forward to one canonical batch shape so results are
+  bit-identical no matter how requests were grouped.
+* :class:`~repro.serve.batcher.MicroBatcher` — request queue with a
+  max-batch / max-latency flush policy.
+* :class:`~repro.serve.server.InferenceServer` — proactor-style worker
+  pool: a supervisor restarts crashed workers and their in-flight
+  requests are re-dispatched, not dropped.
+"""
+
+from .batcher import InferenceRequest, MicroBatcher
+from .registry import InferenceSession, ModelRegistry
+from .server import InferenceServer
+
+__all__ = [
+    "InferenceRequest",
+    "MicroBatcher",
+    "InferenceSession",
+    "ModelRegistry",
+    "InferenceServer",
+]

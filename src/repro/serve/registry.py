@@ -1,0 +1,163 @@
+"""Model registry and inference sessions over trained checkpoints."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..nn.module import Module
+from ..sparse.engine import SparsityManager
+from ..sparse.inference import serving_storage_report
+from ..sparse.structured import compact_model
+from ..tensor import Tensor, no_grad
+from ..train.checkpoint import load_inference_state
+
+DEFAULT_MAX_BATCH = 8
+
+
+class InferenceSession:
+    """One inference-frozen model instance owned by one worker thread.
+
+    Spiking forwards are stateful (neuron membranes reset per call), so
+    sessions must never be shared between threads — the registry hands
+    each worker its own.  On construction the model goes to eval mode
+    and the manager freezes: masks applied, CSR values gathered into
+    read-only buffers, dense gradient tracking off, and every mutation
+    path raising instead of corrupting the serving weights.
+
+    Every forward runs at one canonical batch shape (``max_batch``,
+    short batches zero-padded and the padding rows discarded): BLAS
+    kernels pick different reduction orders for different GEMM shapes,
+    so without the padding a request's result would depend on how the
+    batcher happened to group it.  With it, batched and sequential
+    inference are bit-identical — the concurrency tests pin this down.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        manager: SparsityManager,
+        max_batch: int = DEFAULT_MAX_BATCH,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.model = model
+        self.manager = manager
+        self.max_batch = int(max_batch)
+        model.eval()
+        manager.freeze()
+
+    def predict(self, inputs) -> np.ndarray:
+        """Model outputs for a batch of inputs (any row count)."""
+        data = np.asarray(inputs, dtype=np.float32)
+        if data.ndim < 2:
+            raise ValueError("predict expects a batch (rows are samples)")
+        rows = data.shape[0]
+        outputs = []
+        with no_grad():
+            for start in range(0, rows, self.max_batch):
+                chunk = data[start:start + self.max_batch]
+                n = chunk.shape[0]
+                if n < self.max_batch:
+                    pad = np.zeros(
+                        (self.max_batch - n,) + chunk.shape[1:], dtype=np.float32
+                    )
+                    chunk = np.concatenate([chunk, pad], axis=0)
+                out = self.model(Tensor(chunk)).data
+                outputs.append(out[:n])
+        return np.concatenate(outputs, axis=0)
+
+    def predict_one(self, sample) -> np.ndarray:
+        """Model output for a single sample."""
+        return self.predict(np.asarray(sample)[None])[0]
+
+    def dispatch_report(self) -> List[Dict]:
+        """Per-layer dense-vs-CSR routing decisions."""
+        return [
+            self.manager.explain_dispatch(name) for name in self.manager.states
+        ]
+
+    def storage_report(self) -> Dict:
+        """Per-layer CSR-vs-dense storage accounting (§III-D, live)."""
+        return serving_storage_report(self.manager)
+
+
+#: A factory returns a fresh ``(model, manager)`` pair per call, so
+#: every worker session owns independent membrane state.
+SessionFactory = Callable[[], Tuple[Module, SparsityManager]]
+
+
+class ModelRegistry:
+    """Named model factories that mint per-worker inference sessions."""
+
+    def __init__(self) -> None:
+        self._factories: Dict[str, SessionFactory] = {}
+        self._max_batch: Dict[str, int] = {}
+
+    def register(
+        self,
+        name: str,
+        factory: SessionFactory,
+        max_batch: int = DEFAULT_MAX_BATCH,
+    ) -> "ModelRegistry":
+        """Register a factory under ``name`` (later wins, like a dict)."""
+        self._factories[name] = factory
+        self._max_batch[name] = int(max_batch)
+        return self
+
+    def names(self) -> List[str]:
+        return sorted(self._factories)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._factories
+
+    def session(self, name: str, max_batch: Optional[int] = None) -> InferenceSession:
+        """Build a fresh session for one worker thread."""
+        if name not in self._factories:
+            raise KeyError(
+                f"no model {name!r} registered (have: {self.names()})"
+            )
+        model, manager = self._factories[name]()
+        batch = max_batch if max_batch is not None else self._max_batch[name]
+        return InferenceSession(model, manager, max_batch=batch)
+
+    def load_checkpoint(
+        self,
+        name: str,
+        config,
+        path: Union[str, Path],
+        execution: str = "auto",
+        compact: bool = False,
+        max_batch: int = DEFAULT_MAX_BATCH,
+    ) -> "ModelRegistry":
+        """Register a checkpoint-backed model.
+
+        The factory rebuilds the model geometry from ``config``
+        (:func:`~repro.experiments.runner.build_experiment_model`),
+        restores weights/masks/calibration from the checkpoint (both
+        ``save_checkpoint`` and ``save_training_state`` formats), and
+        under ``compact=True`` slices structurally-pruned filters out
+        (:func:`~repro.sparse.structured.compact_model`) so serving
+        runs genuinely smaller dense kernels while unstructured-sparse
+        layers keep the CSR route.
+        """
+        from ..experiments.runner import build_experiment_model
+
+        path = Path(path)
+
+        def factory() -> Tuple[Module, SparsityManager]:
+            model = build_experiment_model(config)
+            state = load_inference_state(path, model)
+            manager = SparsityManager(model)
+            if state.masks:
+                manager.load_masks(state.masks)
+            if state.calibration is not None:
+                manager.calibration = state.calibration
+            manager.set_execution(execution)
+            if compact:
+                manager = compact_model(model, manager)
+            return model, manager
+
+        return self.register(name, factory, max_batch=max_batch)

@@ -28,7 +28,13 @@ from .dispatch import (
 )
 from .gmp import GMPSNN
 from .snip import SNIPSNN
-from .structured import StructuredFilterPruning, filter_norms
+from .structured import (
+    StructuredFilterPruning,
+    compact_model,
+    dead_output_rows,
+    filter_norms,
+    sever_dead_channels,
+)
 from .storage import (
     HAVE_SCIPY,
     CSRMatrix,
@@ -43,6 +49,7 @@ from .inference import (
     compress_model,
     compressed_storage_bits,
     compression_report,
+    serving_storage_report,
 )
 from .erk import (
     build_distribution,
@@ -95,6 +102,9 @@ __all__ = [
     "SNIPSNN",
     "StructuredFilterPruning",
     "filter_norms",
+    "sever_dead_channels",
+    "compact_model",
+    "dead_output_rows",
     "CSRMatrix",
     "CSRPattern",
     "HAVE_SCIPY",
@@ -106,6 +116,7 @@ __all__ = [
     "compress_model",
     "compressed_storage_bits",
     "compression_report",
+    "serving_storage_report",
     "MaskManager",
     "sparsifiable_parameters",
     "erk_densities",

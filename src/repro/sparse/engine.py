@@ -85,6 +85,7 @@ class MaskedParameter:
         "_count_cache",
         "_count_version",
         "_values_dirty",
+        "frozen",
         "manager",
     )
 
@@ -98,6 +99,7 @@ class MaskedParameter:
         self._count_cache: Optional[int] = None
         self._count_version = -1
         self._values_dirty = True
+        self.frozen = False
         self.manager: Optional["SparsityManager"] = None
         # Back-reference so code that mutates the raw parameter (the
         # optimizer step, checkpoint restore, fault injection) can keep
@@ -146,8 +148,18 @@ class MaskedParameter:
         self.mask[...] = mask.astype(np.float32)
         self.touch()
 
+    def _frozen_error(self, action: str) -> RuntimeError:
+        return RuntimeError(
+            f"parameter {self.name!r} is frozen for inference: {action} "
+            "would invalidate the read-only CSR value buffer a server may "
+            "be reading concurrently; call thaw() (or "
+            "SparsityManager.thaw()) before mutating weights or topology"
+        )
+
     def touch(self) -> None:
         """Mark the sparsity pattern as changed."""
+        if self.frozen:
+            raise self._frozen_error("a topology edit")
         self.pattern_version += 1
         self._csr_cache = None
         self._values_dirty = True
@@ -257,8 +269,49 @@ class MaskedParameter:
 
     def mark_values_dirty(self) -> None:
         """Note an out-of-band weight mutation (checkpoint restore,
-        fault injection); the next :meth:`csr_values` re-gathers."""
+        fault injection); the next :meth:`csr_values` re-gathers.
+
+        Raises on a frozen state: out-of-band mutations (e.g.
+        ``load_state_dict`` into a serving model, fault injection) must
+        fail loudly instead of silently dirtying a buffer the inference
+        path will never refresh.
+        """
+        if self.frozen:
+            raise self._frozen_error("an out-of-band weight mutation")
         self._values_dirty = True
+
+    # ------------------------------------------------------------------
+    # Inference freezing
+    # ------------------------------------------------------------------
+    def freeze(self) -> None:
+        """Enter inference-frozen mode: values current, buffer read-only.
+
+        Gathers the active values one final time, locks the CSR value
+        buffer, and disables gradient tracking on the parameter.  Every
+        subsequent mutation path — topology edits, write-through,
+        ``load_state_dict``, fault injection — raises a clear error
+        instead of corrupting what a serving thread is reading.
+        Idempotent.
+        """
+        if self.frozen:
+            return
+        self.apply_mask()
+        pattern = self.csr_pattern()
+        if self._values_dirty:
+            pattern.gather(self.parameter.data)
+            self._values_dirty = False
+        pattern.freeze()
+        self.parameter.requires_grad = False
+        self.frozen = True
+
+    def thaw(self) -> None:
+        """Leave inference-frozen mode; the state is trainable again."""
+        if not self.frozen:
+            return
+        if self._csr_cache is not None:
+            self._csr_cache.thaw()
+        self.parameter.requires_grad = True
+        self.frozen = False
 
     def write_through(self) -> None:
         """Refresh the cached CSR values after an in-place weight update.
@@ -270,6 +323,8 @@ class MaskedParameter:
         forward and input-gradient product); otherwise the refresh is
         deferred with a dirty flag so dense-mode training pays nothing.
         """
+        if self.frozen:
+            raise self._frozen_error("an optimizer step")
         self._values_dirty = True
         cache = self._csr_cache
         if cache is None:
@@ -595,6 +650,38 @@ class SparsityManager:
             "execution": self.execution,
             "route": route,
         }
+
+    # ------------------------------------------------------------------
+    # Inference freezing
+    # ------------------------------------------------------------------
+    @property
+    def frozen(self) -> bool:
+        """True when every layer state is inference-frozen."""
+        return all(state.frozen for state in self.states.values())
+
+    def freeze(self) -> "SparsityManager":
+        """Lock the whole model for inference serving.
+
+        Applies the masks one final time, binds the layers if needed
+        (so the CSR fast path is reachable), then freezes every layer
+        state: CSR values are gathered and their buffers made
+        read-only, dense gradient tracking is switched off, and any
+        further mutation — optimizer steps, ``load_state_dict``,
+        topology edits, fault injection — raises a clear error.
+        Idempotent; reversed by :meth:`thaw`.
+        """
+        self.apply_masks()
+        if not self._bound:
+            self.bind_layers()
+        for state in self.states.values():
+            state.freeze()
+        return self
+
+    def thaw(self) -> "SparsityManager":
+        """Reverse :meth:`freeze`; the model is trainable again."""
+        for state in self.states.values():
+            state.thaw()
+        return self
 
     def refresh_values(self) -> None:
         """Eagerly rebuild CSR values for layers on the CSR route.

@@ -143,6 +143,37 @@ def compressed_storage_bits(model: Module, value_bits: int = 32, index_bits: int
     return total
 
 
+def serving_storage_report(manager) -> Dict[str, object]:
+    """Per-layer storage/dispatch summary of a (frozen) serving engine.
+
+    For every masked layer: the route its next forward takes, its
+    density, and the exact CSR storage bits of the cached pattern
+    (values + column indices + row pointers) versus the dense weight
+    bits — the §III-D accounting applied to the live serving engine
+    instead of a one-off :func:`compress_model` copy.
+    """
+    layers = []
+    for name, state in manager.states.items():
+        pattern = state.csr_pattern()
+        rows = pattern.shape[0]
+        csr_bits = pattern.nnz * 32 + pattern.nnz * 32 + (rows + 1) * 32
+        layers.append({
+            "layer": name,
+            "route": "csr" if manager.use_csr(state) else "dense",
+            "density": round(state.density(), 4),
+            "nonzeros": pattern.nnz,
+            "csr_bits": csr_bits,
+            "dense_bits": state.size * 32,
+            "frozen": state.frozen,
+        })
+    return {
+        "layers": layers,
+        "total_csr_bits": sum(item["csr_bits"] for item in layers),
+        "total_dense_bits": sum(item["dense_bits"] for item in layers),
+        "frozen": all(item["frozen"] for item in layers),
+    }
+
+
 def compression_report(model: Module) -> Dict[str, float]:
     """Summary stats of a compressed model (layer count, bits, density)."""
     layers: List = [

@@ -148,7 +148,7 @@ class CSRPattern:
     """
 
     __slots__ = ("shape", "orig_shape", "indices", "indptr", "flat_index", "nnz",
-                 "values", "_sp", "_sp_t", "_row_of_nz")
+                 "values", "frozen", "_sp", "_sp_t", "_row_of_nz")
 
     def __init__(self, mask: np.ndarray) -> None:
         matrix, shape = _as_matrix(np.asarray(mask))
@@ -165,6 +165,7 @@ class CSRPattern:
         self.flat_index = (row_idx * cols + col_idx).astype(np.intp)
         self.nnz = int(self.flat_index.size)
         self.values = np.empty(self.nnz, dtype=np.float32)
+        self.frozen = False
         self._sp = None
         self._sp_t = None
         self._row_of_nz: Optional[np.ndarray] = None
@@ -179,6 +180,27 @@ class CSRPattern:
         return self.nnz / total if total else 0.0
 
     # ------------------------------------------------------------------
+    # Inference freezing
+    # ------------------------------------------------------------------
+    def freeze(self) -> "CSRPattern":
+        """Lock the value buffer for inference serving.
+
+        A frozen pattern's ``values`` are read-only at the numpy level:
+        :meth:`gather` and any in-place refresh raise instead of
+        silently mutating the weights a server is concurrently reading.
+        The index structure was already immutable.  Idempotent.
+        """
+        self.values.setflags(write=False)
+        self.frozen = True
+        return self
+
+    def thaw(self) -> "CSRPattern":
+        """Reverse :meth:`freeze`; the pattern is trainable again."""
+        self.values.setflags(write=True)
+        self.frozen = False
+        return self
+
+    # ------------------------------------------------------------------
     # Value refresh
     # ------------------------------------------------------------------
     def gather(self, weight: np.ndarray) -> np.ndarray:
@@ -188,6 +210,11 @@ class CSRPattern:
         cached matrix's data buffer, so no further copy happens when a
         kernel runs.
         """
+        if self.frozen:
+            raise RuntimeError(
+                "cannot gather into a frozen CSRPattern: the value buffer "
+                "is read-only for inference; call thaw() first"
+            )
         flat = np.ascontiguousarray(weight).reshape(-1)
         values = self._values_buffer(flat.dtype)
         np.take(flat, self.flat_index, out=values)
@@ -195,10 +222,25 @@ class CSRPattern:
 
     def _values_buffer(self, dtype) -> np.ndarray:
         if self.values.dtype != dtype:
+            if self.frozen:
+                raise RuntimeError(
+                    "cannot reallocate a frozen CSRPattern's value buffer"
+                )
             self.values = np.empty(self.nnz, dtype=dtype)
             self._sp = None
             self._sp_t = None
         return self.values
+
+    @staticmethod
+    def _aliases(cached: np.ndarray, data: np.ndarray) -> bool:
+        """True when ``cached`` already is (a view of) ``data``.
+
+        SciPy wraps the data array it is constructed around in a view,
+        so an identity check alone misses the shared-buffer case — and
+        would both waste a copy per kernel call and fault on frozen
+        (read-only) value buffers.
+        """
+        return cached is data or cached.base is data
 
     def _scipy_matrix(self, dtype):
         if self._sp is None or self._sp.data.dtype != dtype:
@@ -221,7 +263,7 @@ class CSRPattern:
         """
         if HAVE_SCIPY:
             sp = self._scipy_matrix(data.dtype)
-            if sp.data is not data:
+            if not self._aliases(sp.data, data):
                 sp.data[:] = data
             return np.asarray(sp @ dense)
         prod = data[:, None] * dense[self.indices]
@@ -236,7 +278,7 @@ class CSRPattern:
         """``W^T @ dense``; ``dense`` is ``(rows, m)``, returns ``(cols, m)``."""
         if HAVE_SCIPY:
             sp = self._scipy_matrix(data.dtype)
-            if sp.data is not data:
+            if not self._aliases(sp.data, data):
                 sp.data[:] = data
             return np.asarray(self._sp_t @ dense)
         if self._row_of_nz is None:

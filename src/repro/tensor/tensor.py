@@ -16,6 +16,7 @@ tape and accumulates gradients into every tensor with
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -23,7 +24,10 @@ import numpy as np
 Number = Union[int, float]
 ArrayLike = Union[Number, Sequence, np.ndarray, "Tensor"]
 
-_GRAD_ENABLED = True
+# Grad mode is per-thread: inference-server worker threads evaluate
+# under no_grad() concurrently with training in other threads, and a
+# process-global flag would race between them.
+_GRAD_STATE = threading.local()
 
 
 @contextlib.contextmanager
@@ -31,20 +35,21 @@ def no_grad():
     """Context manager that disables gradient recording.
 
     Inside the block, operations on tensors do not build the autograd
-    tape, which saves memory during evaluation.
+    tape, which saves memory during evaluation.  The switch is
+    thread-local, so evaluation on one thread never disables gradients
+    on another.
     """
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    previous = is_grad_enabled()
+    _GRAD_STATE.enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _GRAD_STATE.enabled = previous
 
 
 def is_grad_enabled() -> bool:
     """Return True if operations are currently recorded on the tape."""
-    return _GRAD_ENABLED
+    return getattr(_GRAD_STATE, "enabled", True)
 
 
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -96,7 +101,7 @@ class Tensor:
         _op: str = "",
     ) -> None:
         self.data = _as_array(data)
-        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad = bool(requires_grad) and is_grad_enabled()
         self.grad: Optional[np.ndarray] = None
         self._backward = _backward
         self._prev = _prev if self.requires_grad or _prev else ()
@@ -176,7 +181,7 @@ class Tensor:
     # Autograd machinery
     # ------------------------------------------------------------------
     def _make(self, data: np.ndarray, parents: Tuple["Tensor", ...], op: str) -> "Tensor":
-        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        requires = is_grad_enabled() and any(p.requires_grad for p in parents)
         return Tensor(data, requires_grad=requires, _prev=parents if requires else (), _op=op)
 
     def _accumulate(self, grad: np.ndarray) -> None:
@@ -575,7 +580,7 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     """Stack tensors along a new axis, differentiably."""
     tensors = list(tensors)
     data = np.stack([t.data for t in tensors], axis=axis)
-    requires = _GRAD_ENABLED and any(t.requires_grad for t in tensors)
+    requires = is_grad_enabled() and any(t.requires_grad for t in tensors)
     out = Tensor(data, requires_grad=requires, _prev=tuple(tensors) if requires else (), _op="stack")
 
     def backward(grad: np.ndarray) -> None:
@@ -591,7 +596,7 @@ def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     """Concatenate tensors along an existing axis, differentiably."""
     tensors = list(tensors)
     data = np.concatenate([t.data for t in tensors], axis=axis)
-    requires = _GRAD_ENABLED and any(t.requires_grad for t in tensors)
+    requires = is_grad_enabled() and any(t.requires_grad for t in tensors)
     out = Tensor(data, requires_grad=requires, _prev=tuple(tensors) if requires else (), _op="concat")
     sizes = [t.shape[axis] for t in tensors]
     offsets = np.cumsum([0] + sizes)
@@ -612,7 +617,7 @@ def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
     b_t = b if isinstance(b, Tensor) else Tensor(b)
     cond = np.asarray(condition)
     data = np.where(cond, a_t.data, b_t.data)
-    requires = _GRAD_ENABLED and (a_t.requires_grad or b_t.requires_grad)
+    requires = is_grad_enabled() and (a_t.requires_grad or b_t.requires_grad)
     out = Tensor(data, requires_grad=requires, _prev=(a_t, b_t) if requires else (), _op="where")
 
     def backward(grad: np.ndarray) -> None:

@@ -2,8 +2,10 @@
 
 from .checkpoint import (
     CheckpointCallback,
+    InferenceState,
     has_training_state,
     load_checkpoint,
+    load_inference_state,
     load_training_state,
     save_checkpoint,
     save_training_state,
@@ -49,6 +51,8 @@ __all__ = [
     "CheckpointCallback",
     "save_training_state",
     "load_training_state",
+    "load_inference_state",
+    "InferenceState",
     "has_training_state",
     "TrainerCallback",
     "CallbackList",

@@ -88,6 +88,57 @@ def load_checkpoint(
 
 
 # ----------------------------------------------------------------------
+# Inference-only restore (serving)
+# ----------------------------------------------------------------------
+class InferenceState:
+    """What serving needs from a checkpoint: weights, masks, metadata.
+
+    Produced by :func:`load_inference_state`; the training-only payload
+    (optimizer buffers, method auxiliaries, RNG streams) is discarded.
+    """
+
+    __slots__ = ("masks", "metadata", "calibration")
+
+    def __init__(self, masks, metadata, calibration) -> None:
+        self.masks = masks
+        self.metadata = metadata
+        self.calibration = calibration
+
+
+def load_inference_state(path: Union[str, Path], model: Module) -> InferenceState:
+    """Load just the inference-relevant slice of any checkpoint format.
+
+    Accepts both :func:`save_checkpoint` and :func:`save_training_state`
+    files: model weights are restored into ``model``, masks and the
+    persisted dispatch-calibration table (when present) are returned
+    for the caller to hand to a fresh
+    :class:`~repro.sparse.engine.SparsityManager`.  No trainer, method
+    or optimizer is required — this is the serving-side entry point.
+    """
+    path = Path(path)
+    arrays = load_state_dict(path.with_suffix(".npz"))
+    metadata = load_json(path.with_suffix(".json"))
+    arrays.pop("__epochs_completed__", None)
+    weights: Dict[str, np.ndarray] = {}
+    masks: Dict[str, np.ndarray] = {}
+    for key, value in arrays.items():
+        if key.startswith(_MASK_PREFIX):
+            masks[key[len(_MASK_PREFIX):]] = value
+        elif key.startswith((_OPT_PREFIX, _METHOD_PREFIX)):
+            continue
+        else:
+            weights[key] = value
+    model.load_state_dict(weights)
+    calibration = None
+    calibration_meta = metadata.get("calibration")
+    if calibration_meta:
+        from ..sparse.dispatch import CalibrationTable
+
+        calibration = CalibrationTable.from_meta(calibration_meta)
+    return InferenceState(masks=masks, metadata=metadata, calibration=calibration)
+
+
+# ----------------------------------------------------------------------
 # Full training-state checkpoints (bit-identical resume)
 # ----------------------------------------------------------------------
 def _transform_rngs(loader) -> list:

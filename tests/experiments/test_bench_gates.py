@@ -1,0 +1,101 @@
+"""Regression-gate mechanisms of the sweep and serving benchmarks.
+
+Mirrors the kernel-bench gate tests: tier-1 verifies the *mechanism*
+(self-baseline passes, doctored baseline fails, CLI exit codes) on a
+tiny grid, never the machine-specific timings.
+"""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+BENCH_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "benchmarks")
+
+
+def load_bench(name):
+    path = os.path.join(BENCH_DIR, name + ".py")
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.smoke
+class TestSweepRegressionGate:
+    def tiny_payload(self, bench):
+        return bench.run_scaling(
+            epochs=1, train_samples=16, worker_counts=[1],
+            methods=("dense",), sparsities=(0.9,),
+        )
+
+    def test_self_baseline_passes_and_doctored_baseline_fails(self):
+        bench = load_bench("bench_sweep_scaling")
+        payload = self.tiny_payload(bench)
+        assert bench.check_regressions(payload, payload) == []
+        doctored = dict(payload)
+        doctored["best_queue_speedup"] = payload["best_queue_speedup"] * 100.0
+        failures = bench.check_regressions(doctored, payload)
+        assert any("best_queue_speedup" in failure for failure in failures)
+
+    def test_divergent_results_always_fail(self):
+        bench = load_bench("bench_sweep_scaling")
+        payload = self.tiny_payload(bench)
+        diverged = dict(payload)
+        diverged["all_bit_identical"] = False
+        failures = bench.check_regressions(payload, diverged)
+        assert any("all_bit_identical" in failure for failure in failures)
+
+    def test_check_cli_exit_codes(self, tmp_path):
+        bench = load_bench("bench_sweep_scaling")
+        payload = self.tiny_payload(bench)
+        argv = ["--epochs", "1", "--train-samples", "16", "--workers", "1",
+                "--methods", "dense", "--sparsities", "0.9"]
+        good = tmp_path / "baseline.json"
+        # A near-zero speedup floor passes on any machine; this
+        # exercises the full --check path without timing flakiness.
+        relaxed = dict(payload)
+        relaxed["best_queue_speedup"] = 1e-6
+        good.write_text(json.dumps(relaxed))
+        assert bench.main(argv + ["--check", str(good)]) == 0
+        bad = tmp_path / "doctored.json"
+        doctored = dict(payload)
+        doctored["best_queue_speedup"] = 1e6
+        bad.write_text(json.dumps(doctored))
+        assert bench.main(argv + ["--check", str(bad)]) == 1
+
+
+@pytest.mark.smoke
+class TestServingRegressionGate:
+    def tiny_payload(self, bench):
+        return bench.run_comparison(
+            width=48, batch_sizes=(1, 2), repeats=1, include_server=False,
+        )
+
+    def test_self_baseline_passes_and_doctored_baseline_fails(self):
+        bench = load_bench("bench_serving")
+        payload = self.tiny_payload(bench)
+        assert bench.check_regressions(payload, payload) == []
+        doctored = dict(payload)
+        doctored["csr_p50_speedup_at_90"] = (
+            payload["csr_p50_speedup_at_90"] * 100.0
+        )
+        failures = bench.check_regressions(doctored, payload)
+        assert any("csr_p50_speedup_at_90" in failure for failure in failures)
+
+    def test_check_cli_exit_codes(self, tmp_path):
+        bench = load_bench("bench_serving")
+        payload = self.tiny_payload(bench)
+        argv = ["--repeats", "1", "--width", "48", "--no-server"]
+        good = tmp_path / "baseline.json"
+        relaxed = dict(payload)
+        for metric in bench.HEADLINE_METRICS:
+            relaxed[metric] = 1e-6
+        good.write_text(json.dumps(relaxed))
+        assert bench.main(argv + ["--check", str(good)]) == 0
+        bad = tmp_path / "doctored.json"
+        doctored = dict(payload)
+        doctored["compact_p50_speedup_at_50"] = 1e6
+        bad.write_text(json.dumps(doctored))
+        assert bench.main(argv + ["--check", str(bad)]) == 1

@@ -224,3 +224,83 @@ class TestStaleness:
         state = MaskedParameter("w", tensor)
         assert getattr(tensor, "_masked_state", None) is None
         assert state.csr_values().size == 16
+
+
+def frozen_sandbox(seed=30, density=0.4):
+    model = _Sandbox(seed)
+    manager = SparsityManager(model, rng=np.random.default_rng(seed + 1))
+    manager.init_distribution("uniform", density)
+    manager.set_execution("csr")
+    manager.freeze()
+    return model, manager, model.fc.weight_state
+
+
+class TestFrozenMode:
+    """Inference freezing: every mutation path raises, none corrupts.
+
+    The staleness tests above pin the *training* contract (out-of-band
+    mutation dirties the cache).  Frozen for serving, the same events
+    must fail loudly instead — a server may be reading the CSR buffer
+    concurrently, so "dirty and re-gather later" is no longer safe.
+    """
+
+    def test_load_state_dict_into_frozen_raises(self):
+        model, manager, state = frozen_sandbox()
+        snapshot = model.state_dict()
+        snapshot["fc.weight"] = snapshot["fc.weight"] * 2.0
+        with pytest.raises(RuntimeError, match="frozen for inference"):
+            model.load_state_dict(snapshot)
+        # The failed restore must not have dirtied the serving cache.
+        assert not state._values_dirty
+
+    def test_write_through_raises_without_dirtying(self):
+        _, _, state = frozen_sandbox()
+        with pytest.raises(RuntimeError, match="optimizer step"):
+            state.write_through()
+        assert not state._values_dirty
+
+    def test_topology_edit_raises(self):
+        _, _, state = frozen_sandbox()
+        with pytest.raises(RuntimeError, match="topology edit"):
+            state.drop_by_magnitude(2)
+
+    def test_pattern_gather_raises(self):
+        _, _, state = frozen_sandbox()
+        pattern = state.csr_pattern()
+        with pytest.raises(RuntimeError, match="frozen CSRPattern"):
+            pattern.gather(state.parameter.data)
+
+    def test_value_buffer_is_readonly(self):
+        _, _, state = frozen_sandbox()
+        values = state.csr_values()
+        with pytest.raises(ValueError):
+            values[:] = 0.0
+
+    def test_frozen_forward_still_works(self):
+        model, _, _ = frozen_sandbox()
+        out = model(Tensor(np.ones((3, 10), dtype=np.float32)))
+        assert out.data.shape == (3, 8)
+        # Freezing kills dense grad tracking on the masked weight; the
+        # (unmasked) bias still tracks, which the serving session's
+        # no_grad() suppresses — only the weight matters here.
+        assert not model.fc.weight.requires_grad
+
+    def test_thaw_restores_training_contract(self):
+        model, manager, state = frozen_sandbox()
+        manager.thaw()
+        assert not manager.frozen
+        snapshot = model.state_dict()
+        snapshot["fc.weight"] = snapshot["fc.weight"] * 2.0
+        model.load_state_dict(snapshot)  # no raise once thawed
+        assert state._values_dirty
+        pattern = state.csr_pattern()
+        np.testing.assert_array_equal(
+            state.csr_values(), pattern.gather(model.fc.weight.data)
+        )
+
+    def test_freeze_is_idempotent(self):
+        _, manager, state = frozen_sandbox()
+        assert manager.frozen
+        manager.freeze()
+        assert manager.frozen
+        assert not state.parameter.requires_grad

@@ -180,3 +180,103 @@ class TestQueueBackendCLI:
         QueueWorker(queue, poll_seconds=0.01).run(max_jobs=1)
         assert main(["sweep-status", "--spool", str(spool)]) == 1
         assert "failed" in capsys.readouterr().out
+
+
+FAST_WORKLOAD = [
+    "--dataset", "cifar10", "--model", "convnet", "--method", "ndsnn",
+    "--sparsity", "0.8", "--epochs", "1", "--train-samples", "32",
+    "--test-samples", "16", "--timesteps", "2", "--image-size", "8",
+    "--update-frequency", "1",
+]
+
+
+class TestServing:
+    @pytest.fixture(scope="class")
+    def checkpoint(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("serving") / "ckpt"
+        assert main([
+            "run", *FAST_WORKLOAD, "--checkpoint", str(path), "--quiet",
+        ]) == 0
+        return path
+
+    @pytest.mark.smoke
+    def test_infer_reports_accuracy_and_dispatch(self, checkpoint, tmp_path, capsys):
+        out_path = tmp_path / "infer.json"
+        code = main([
+            "infer", *FAST_WORKLOAD,
+            "--checkpoint", str(checkpoint), "--out", str(out_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "accuracy" in out
+        payload = json.loads(out_path.read_text())
+        assert 0.0 <= payload["accuracy"] <= 1.0
+        assert payload["samples"] == 16
+        routes = {entry["route"] for entry in payload["dispatch"]}
+        assert routes <= {"csr", "dense"}
+        assert payload["storage"]["frozen"] is True
+
+    @pytest.mark.smoke
+    def test_infer_compact_structured_checkpoint(self, tmp_path, capsys):
+        # `run` trains no structured checkpoints from the CLI yet, so
+        # write one with the library, then serve it compacted.
+        import numpy as np
+
+        from repro.experiments import scaled_config
+        from repro.experiments.runner import build_experiment_model
+        from repro.optim import SGD
+        from repro.sparse import StructuredFilterPruning
+        from repro.train.checkpoint import save_checkpoint
+
+        config = scaled_config(
+            "cifar10", "convnet", "structured", 0.8, epochs=1,
+            train_samples=32, test_samples=16, timesteps=2, image_size=8,
+            update_frequency=1,
+        )
+        model = build_experiment_model(config)
+        method = StructuredFilterPruning(
+            final_sparsity=0.5, total_iterations=8, update_frequency=4,
+            rng=np.random.default_rng(2),
+        )
+        method.bind(model, SGD(model.parameters(), lr=0.1))
+        for name, state in method.masks.states.items():
+            mask = np.ones_like(state.mask)
+            if mask.ndim == 4:
+                mask[: mask.shape[0] // 2] = 0.0  # kill half the filters
+            method.masks.set_mask(name, mask)
+        method.masks.apply_masks()
+        path = tmp_path / "structured_ckpt"
+        save_checkpoint(path, model, method)
+
+        structured = [
+            arg if arg != "ndsnn" else "structured" for arg in FAST_WORKLOAD
+        ]
+        code = main([
+            "infer", *structured, "--checkpoint", str(path), "--compact",
+        ])
+        assert code == 0
+        assert "accuracy" in capsys.readouterr().out
+
+    @pytest.mark.smoke
+    def test_serve_reports_latency_percentiles(self, checkpoint, tmp_path, capsys):
+        out_path = tmp_path / "serve.json"
+        code = main([
+            "serve", *FAST_WORKLOAD,
+            "--checkpoint", str(checkpoint), "--out", str(out_path),
+            "--requests", "12", "--clients", "2", "--workers", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "p50_ms" in out
+        payload = json.loads(out_path.read_text())
+        assert payload["p50_ms"] > 0.0
+        assert payload["p99_ms"] >= payload["p50_ms"]
+        assert payload["stats"]["completed"] == 12
+        assert payload["stats"]["restarts"] == 0
+
+    def test_infer_missing_checkpoint_is_an_error(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main([
+                "infer", *FAST_WORKLOAD,
+                "--checkpoint", str(tmp_path / "nope"),
+            ])

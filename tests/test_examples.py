@@ -1,0 +1,26 @@
+"""Runnable examples stay runnable (fast profiles only)."""
+
+import importlib.util
+import os
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def load_example(name):
+    path = os.path.join(EXAMPLES_DIR, name + ".py")
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.smoke
+def test_edge_deployment_fast(capsys):
+    example = load_example("edge_deployment")
+    example.main(["--fast"])
+    out = capsys.readouterr().out
+    assert "Frozen serving package" in out
+    assert "Batched server burst" in out
+    assert "correctly refused" in out

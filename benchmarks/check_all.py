@@ -1,0 +1,91 @@
+"""Single entry point for every benchmark regression gate.
+
+Runs the four ``--check`` gates (kernels, sweep scaling, serving,
+streaming) against their committed ``BENCH_*.json`` baselines in one
+command::
+
+    PYTHONPATH=src python benchmarks/check_all.py
+
+Each gate re-times its grid and fails if a headline ratio fell more
+than 15% below the committed number (see the individual bench modules
+for what is gated; absolute times never are).  Exit code is non-zero
+if *any* gate fails; gates keep running after a failure so one report
+covers everything.
+
+``--only NAME`` runs a subset; ``--baseline-dir`` points somewhere
+other than the repo root (e.g. a CI artifact directory); extra
+per-gate arguments are fixed fast settings chosen to keep a full run
+in CI-friendly time.
+"""
+
+import argparse
+import importlib.util
+import os
+
+BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(BENCH_DIR)
+
+#: gate name -> (bench module file, baseline file, fast extra args)
+GATES = {
+    "kernels": ("bench_kernels", "BENCH_kernels.json", ["--repeats", "10"]),
+    "sweep": (
+        "bench_sweep_scaling",
+        "BENCH_sweep.json",
+        ["--epochs", "1", "--train-samples", "32", "--workers", "1", "2"],
+    ),
+    "serving": ("bench_serving", "BENCH_serving.json", ["--repeats", "5", "--no-server"]),
+    "streaming": ("bench_streaming", "BENCH_streaming.json", []),
+}
+
+
+def load_bench(name):
+    path = os.path.join(BENCH_DIR, name + ".py")
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def run_gate(gate, baseline_dir, extra_args=None):
+    """One gate's exit code (2 = baseline missing, treated as failure)."""
+    module_name, baseline_name, fast_args = GATES[gate]
+    baseline = os.path.join(baseline_dir, baseline_name)
+    if not os.path.exists(baseline):
+        print(f"[{gate}] MISSING baseline {baseline}")
+        return 2
+    bench = load_bench(module_name)
+    argv = list(fast_args) + list(extra_args or []) + ["--check", baseline]
+    print(f"[{gate}] {module_name}.py {' '.join(argv)}")
+    return bench.main(argv)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="run every benchmark regression gate against its baseline"
+    )
+    parser.add_argument(
+        "--only", action="append", choices=sorted(GATES), default=None,
+        help="gate to run (repeatable; default: all four)",
+    )
+    parser.add_argument(
+        "--baseline-dir", default=REPO_ROOT,
+        help="directory holding the committed BENCH_*.json baselines",
+    )
+    args = parser.parse_args(argv)
+    gates = args.only or sorted(GATES)
+    failures = []
+    for gate in gates:
+        code = run_gate(gate, args.baseline_dir)
+        status = "ok" if code == 0 else f"FAILED (exit {code})"
+        print(f"[{gate}] {status}")
+        if code != 0:
+            failures.append(gate)
+    if failures:
+        print(f"{len(failures)}/{len(gates)} gate(s) failed: {', '.join(failures)}")
+        return 1
+    print(f"all {len(gates)} gate(s) passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

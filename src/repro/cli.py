@@ -76,6 +76,10 @@ def _build_parser() -> argparse.ArgumentParser:
         parser.add_argument("--update-frequency", type=int, default=8)
         parser.add_argument("--seed", type=int, default=0)
         parser.add_argument(
+            "--encoder", default="direct", choices=("direct", "poisson", "latency"),
+            help="input coding (poisson's RNG is seeded and checkpointed)",
+        )
+        parser.add_argument(
             "--execution", default="auto", choices=EXECUTION_MODES,
             help="masked-layer kernels: dense, auto (CSR below the "
                  "measured per-shape density cutoff; the default) or csr",
@@ -214,6 +218,57 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print one line per job, not just the census",
     )
 
+    stream = commands.add_parser(
+        "stream", help="event-driven streaming inference over a telemetry feed"
+    )
+    stream.add_argument(
+        "--source", default="telemetry", choices=("telemetry",),
+        help="event source (synthetic sensor telemetry)",
+    )
+    stream.add_argument("--streams", type=int, default=4, help="simulated devices")
+    stream.add_argument("--channels", type=int, default=16, help="sensor channels per event")
+    stream.add_argument("--events", type=int, default=256, help="events per device")
+    stream.add_argument("--rate-hz", type=float, default=100.0, help="mean arrival rate")
+    stream.add_argument("--window", type=int, default=8, help="events per readout window")
+    stream.add_argument(
+        "--stride", type=int, default=None,
+        help="events between readouts (default: window, i.e. tumbling)",
+    )
+    stream.add_argument(
+        "--encoder", default="direct", choices=("direct", "rate", "latency"),
+        help="online encoder applied per event",
+    )
+    stream.add_argument("--hidden", type=int, default=32, help="hidden layer width")
+    stream.add_argument("--classes", type=int, default=4, help="readout classes")
+    stream.add_argument("--sparsity", type=float, default=0.9, help="mask sparsity")
+    stream.add_argument(
+        "--ttl", type=float, default=None,
+        help="stale-state TTL in event-time seconds (default: no TTL)",
+    )
+    stream.add_argument(
+        "--reset-policy", default="reset", choices=("reset", "carry"),
+        help="what to do with a stale stream's state",
+    )
+    stream.add_argument(
+        "--adapt", action="store_true",
+        help="thaw the masks and run online drop/grow adaptation",
+    )
+    stream.add_argument(
+        "--adapt-every", type=int, default=4,
+        help="windows between adaptation rounds (with --adapt)",
+    )
+    stream.add_argument(
+        "--fault", action="append", default=None, metavar="SPEC",
+        help="stream fault spec, repeatable (e.g. channel_dropout:fraction=0.5,p=0.2; "
+             "stall:duration=1.0,p=0.05; reconnect:gap=2.0,drop=3,p=0.02)",
+    )
+    stream.add_argument(
+        "--workers", type=int, default=1,
+        help=">1 serves the feed through the sharded StreamServer",
+    )
+    stream.add_argument("--seed", type=int, default=0)
+    stream.add_argument("--out", default=None, help="write the outcome as JSON")
+
     commands.add_parser("list", help="list datasets, models and methods")
 
     memory = commands.add_parser("memory", help="Section III-D footprint of a model")
@@ -242,6 +297,7 @@ def _config_from_args(args: argparse.Namespace, method: str):
         test_samples=args.test_samples,
         update_frequency=args.update_frequency,
         seed=args.seed,
+        encoder=args.encoder,
         execution=args.execution,
     )
 
@@ -544,6 +600,107 @@ def _command_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_stream(args: argparse.Namespace) -> int:
+    import time as _time
+
+    import numpy as np
+
+    from .data.telemetry import make_telemetry_stream
+    from .snn.models import SpikingMLP
+    from .sparse.engine import SparsityManager
+    from .stream import AdaptiveStreamSession, StreamFaultInjector, StreamSession
+
+    def build_session():
+        model = SpikingMLP(
+            in_features=args.channels,
+            num_classes=args.classes,
+            hidden=(args.hidden,),
+            timesteps=max(1, args.window),
+            rng=np.random.default_rng(args.seed + 2),
+        )
+        manager = SparsityManager(model, rng=np.random.default_rng(args.seed + 3))
+        manager.init_random(
+            {name: 1.0 - args.sparsity for name in manager.states}
+        )
+        common = dict(
+            window=args.window,
+            stride=args.stride,
+            encoder=args.encoder,
+            ttl=args.ttl,
+            reset_policy=args.reset_policy,
+            seed=args.seed,
+        )
+        if args.adapt:
+            return AdaptiveStreamSession(
+                model, manager, adapt_every=args.adapt_every, **common
+            )
+        manager.freeze()
+        return StreamSession(model, manager=manager, **common)
+
+    feed = make_telemetry_stream(
+        num_streams=args.streams,
+        num_channels=args.channels,
+        num_events=args.events,
+        rate_hz=args.rate_hz,
+        seed=args.seed,
+    )
+    events = iter(feed)
+    injector = None
+    if args.fault:
+        injector = StreamFaultInjector(args.fault, seed=args.seed)
+        events = injector.apply(events)
+
+    started = _time.perf_counter()
+    if args.workers > 1:
+        from .serve import StreamServer
+
+        with StreamServer(build_session, workers=args.workers) as server:
+            results = server.process_stream(events)
+            stats = server.stats()
+        per_stream = stats["streams"]
+        restarts = stats["restarts"]
+    else:
+        session = build_session()
+        results = [r for event in events if (r := session.process(event)) is not None]
+        per_stream = session.stats()
+        restarts = 0
+    elapsed = _time.perf_counter() - started
+
+    total_events = sum(s["events"] for s in per_stream.values())
+    summary = {
+        "events": total_events,
+        "windows": len(results),
+        "events_per_sec": total_events / elapsed if elapsed > 0 else 0.0,
+        "elapsed_s": elapsed,
+        "workers": args.workers,
+        "restarts": restarts,
+        "stale_resets": sum(s["stale_resets"] for s in per_stream.values()),
+        "fault_counts": injector.counts if injector is not None else {},
+        "streams": per_stream,
+    }
+    if args.adapt and args.workers <= 1:
+        summary["adaptation_rounds"] = session.adaptation_rounds
+    rows = [
+        (sid, s["events"], s["windows"], s["stale_resets"])
+        for sid, s in sorted(per_stream.items())
+    ]
+    print(
+        format_table(
+            ["stream", "events", "windows", "stale_resets"],
+            rows,
+            title=(
+                f"streamed {total_events} events -> {len(results)} windows "
+                f"({summary['events_per_sec']:.0f} ev/s, window={args.window}, "
+                f"encoder={args.encoder})"
+            ),
+        )
+    )
+    if args.out:
+        save_json(args.out, summary)
+        print(f"wrote {args.out}")
+    return 0
+
+
 def _command_memory(args: argparse.Namespace) -> int:
     model = build_model(
         args.model,
@@ -578,6 +735,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sweep": _command_sweep,
         "worker": _command_worker,
         "sweep-status": _command_sweep_status,
+        "stream": _command_stream,
         "list": _command_list,
         "memory": _command_memory,
     }

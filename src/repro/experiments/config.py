@@ -28,6 +28,11 @@ class ExperimentConfig:
     momentum: float = 0.9
     weight_decay: float = 5e-4
     timesteps: int = 5
+    # Input coding: ``direct`` (the paper's setup), ``poisson`` for the
+    # rate-coded ablation, ``latency`` for time-to-first-spike.  The
+    # Poisson encoder's RNG derives from ``seed`` (stream seed + 4) and
+    # is checkpointed with the other RNG streams.
+    encoder: str = "direct"
 
     # NDSNN-specific knobs.  The paper's d0 = 0.5 suits 300-epoch runs;
     # at CPU-scale run lengths a gentler 0.25 keeps the drop-and-grow

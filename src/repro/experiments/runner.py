@@ -20,6 +20,7 @@ import numpy as np
 
 from ..data import DataLoader, make_dataset, standard_train_transform
 from ..optim import SGD, CosineAnnealingLR
+from ..snn.encoding import build_encoder
 from ..snn.models import build_model
 from ..sparse import (
     ADMMPruner,
@@ -123,7 +124,18 @@ def build_experiment_model(config: ExperimentConfig, dataset=None):
     )
     if config.model != "convnet":
         kwargs["width_mult"] = config.width_mult
-    return build_model(config.model, **kwargs)
+    model = build_model(config.model, **kwargs)
+    if config.encoder != "direct":
+        encoder_kwargs = {}
+        if config.encoder == "poisson":
+            # Dedicated seed stream (seed + 4, after model/method/loader)
+            # so rate coding is reproducible and resumable; the
+            # checkpoint layer captures/restores ``encoder.rng``.
+            encoder_kwargs["rng"] = np.random.default_rng(config.seed + 4)
+        model.encoder = build_encoder(
+            config.encoder, config.timesteps, **encoder_kwargs
+        )
+    return model
 
 
 def iterations_per_epoch(config: ExperimentConfig) -> int:

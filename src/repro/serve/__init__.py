@@ -20,6 +20,7 @@ turns them into a service.  Three pieces compose:
 from .batcher import InferenceRequest, MicroBatcher
 from .registry import InferenceSession, ModelRegistry
 from .server import InferenceServer
+from .stream_worker import StreamServer
 
 __all__ = [
     "InferenceRequest",
@@ -27,4 +28,5 @@ __all__ = [
     "InferenceSession",
     "ModelRegistry",
     "InferenceServer",
+    "StreamServer",
 ]

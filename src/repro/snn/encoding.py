@@ -36,18 +36,29 @@ class PoissonEncoder:
 
     Input values are expected in [0, 1]; each timestep emits a Bernoulli
     spike map.  Provided for the rate-coded ablation/examples.
+
+    The encoder owns its RNG stream and exposes it as ``rng`` so the
+    checkpoint layer can capture/restore it alongside the loader and
+    transform streams (bit-identical crash-resume for rate-coded runs).
+    An explicit ``seed`` (default 0) replaces the old unseeded default:
+    two encoders built the same way now emit the same spike trains.
     """
 
-    def __init__(self, timesteps: int, rng: Optional[np.random.Generator] = None) -> None:
+    def __init__(
+        self,
+        timesteps: int,
+        rng: Optional[np.random.Generator] = None,
+        seed: int = 0,
+    ) -> None:
         if timesteps < 1:
             raise ValueError("timesteps must be >= 1")
         self.timesteps = timesteps
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self.rng = rng if rng is not None else np.random.default_rng(seed)
 
     def __call__(self, x: Tensor) -> Iterator[Tensor]:
         probabilities = np.clip(x.data, 0.0, 1.0)
         for _ in range(self.timesteps):
-            spikes = (self._rng.random(probabilities.shape) < probabilities).astype(np.float32)
+            spikes = (self.rng.random(probabilities.shape) < probabilities).astype(np.float32)
             yield Tensor(spikes)
 
     def __repr__(self) -> str:

@@ -65,6 +65,18 @@ class AdaptiveLIFNeuron(BaseNeuron):
         super().reset_state()
         self.adaptation = None
 
+    def snapshot_state(self):
+        state = super().snapshot_state()
+        state["adaptation"] = (
+            None if self.adaptation is None else self.adaptation.copy()
+        )
+        return state
+
+    def restore_state(self, state) -> None:
+        super().restore_state(state)
+        adaptation = state["adaptation"]
+        self.adaptation = None if adaptation is None else adaptation.copy()
+
     def forward(self, current: Tensor) -> Tensor:
         if self.adaptation is None:
             self.adaptation = np.zeros(current.shape, dtype=np.float32)
@@ -121,6 +133,20 @@ class RecurrentSpikingLayer(Module):
     def reset_state(self) -> None:
         self.neuron.reset_state()
         self._last_spikes = None
+
+    def snapshot_state(self):
+        # The inner neuron is a registered submodule, so the network
+        # walk snapshots it under its own path; only the recurrent
+        # feedback buffer belongs to this layer.
+        return {
+            "last_spikes": (
+                None if self._last_spikes is None else self._last_spikes.data.copy()
+            )
+        }
+
+    def restore_state(self, state) -> None:
+        last = state["last_spikes"]
+        self._last_spikes = None if last is None else Tensor(last.copy())
 
     def forward(self, x: Tensor) -> Tensor:
         current = self.input_proj(x)

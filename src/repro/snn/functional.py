@@ -8,15 +8,58 @@ from ..nn.module import Module
 from .neuron import BaseNeuron
 
 
+def _stateful_modules(model: Module):
+    """(path, module) pairs carrying temporal state.
+
+    Duck-typed on ``snapshot_state`` so non-neuron stateful components
+    (e.g. :class:`~repro.snn.extensions.RecurrentSpikingLayer`'s
+    feedback buffer) participate in reset/snapshot/restore alongside
+    :class:`~repro.snn.neuron.BaseNeuron` subclasses.
+    """
+    for name, module in model.named_modules():
+        if hasattr(module, "snapshot_state"):
+            yield name, module
+
+
 def reset_net(model: Module) -> None:
     """Reset the membrane state of every spiking neuron in ``model``.
 
     Must be called between independent input samples (the spiking state
     is part of the computation graph and must not leak across batches).
     """
-    for module in model.modules():
-        if isinstance(module, BaseNeuron):
-            module.reset_state()
+    for _, module in _stateful_modules(model):
+        module.reset_state()
+
+
+def snapshot_net_state(model: Module) -> Dict[str, Dict]:
+    """Detached copy of every stateful module's temporal state.
+
+    Keys are module paths (as in ``named_modules``), values the dicts
+    returned by each module's ``snapshot_state``.  The streaming layer
+    stores one snapshot per stream and swaps them in and out of a
+    single model instance; the round-trip through
+    :func:`restore_net_state` is bit-exact.
+    """
+    return {name: module.snapshot_state() for name, module in _stateful_modules(model)}
+
+
+def restore_net_state(model: Module, state: Dict[str, Dict]) -> None:
+    """Inverse of :func:`snapshot_net_state`.
+
+    The snapshot must cover exactly the model's stateful modules — a
+    mismatch means the snapshot came from a different architecture and
+    restoring it silently would corrupt inference.
+    """
+    modules = dict(_stateful_modules(model))
+    if set(modules) != set(state):
+        missing = sorted(set(modules) - set(state))
+        extra = sorted(set(state) - set(modules))
+        raise ValueError(
+            f"state snapshot does not match model: missing {missing}, "
+            f"unexpected {extra}"
+        )
+    for name, module in modules.items():
+        module.restore_state(state[name])
 
 
 def reset_spike_stats(model: Module) -> None:

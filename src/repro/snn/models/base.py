@@ -73,6 +73,24 @@ class SpikingModel(Module):
             accumulated = logits if accumulated is None else accumulated + logits
         return accumulated * (1.0 / self.timesteps)
 
+    def forward_window(self, frames) -> Tensor:
+        """Offline reference pass over pre-encoded ``frames``.
+
+        Identical op order to :meth:`forward` but driven by an explicit
+        frame sequence instead of the encoder, so the streaming layer
+        can prove its incremental execution bit-identical to a batch
+        pass over the same window.
+        """
+        frames = list(frames)
+        if not frames:
+            raise ValueError("forward_window requires at least one frame")
+        reset_net(self)
+        accumulated: Optional[Tensor] = None
+        for frame in frames:
+            logits = self.forward_once(frame)
+            accumulated = logits if accumulated is None else accumulated + logits
+        return accumulated * (1.0 / len(frames))
+
 
 def flattened_spatial(image_size: int, num_halvings: int) -> int:
     """Spatial edge length after ``num_halvings`` stride-2 reductions."""

@@ -14,7 +14,7 @@ unrolling is trainable with BPTT.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -69,6 +69,28 @@ class BaseNeuron(Module):
         """Clear membrane potential and previous output (between samples)."""
         self.v = None
         self.o_prev = None
+
+    def snapshot_state(self) -> Dict[str, Optional[np.ndarray]]:
+        """Detached copy of the temporal state (membrane + last output).
+
+        The snapshot is plain arrays, so it can be stored per stream,
+        checkpointed, or moved between model instances of the same
+        geometry.  Restoring it with :meth:`restore_state` puts the
+        neuron exactly where it was — the streaming layer relies on the
+        round-trip being bit-exact.  Subclasses with extra temporal
+        state (e.g. ALIF's adaptation trace) extend the dict.
+        """
+        return {
+            "v": None if self.v is None else self.v.data.copy(),
+            "o_prev": None if self.o_prev is None else self.o_prev.data.copy(),
+        }
+
+    def restore_state(self, state: Dict[str, Optional[np.ndarray]]) -> None:
+        """Inverse of :meth:`snapshot_state` (state is copied in)."""
+        v = state["v"]
+        o_prev = state["o_prev"]
+        self.v = None if v is None else Tensor(v.copy())
+        self.o_prev = None if o_prev is None else Tensor(o_prev.copy())
 
     def reset_spike_stats(self) -> None:
         """Zero the spike-rate accounting counters."""

@@ -196,6 +196,31 @@ class MaskedParameter:
         self.touch()
         return chosen
 
+    def drop_by_score(self, count: int, scores: np.ndarray) -> np.ndarray:
+        """Deactivate the ``count`` active positions with the lowest score.
+
+        ``scores`` is a dense array over the full weight tensor; the
+        streaming adaptation layer passes activity-weighted magnitudes
+        where training-time methods use raw magnitude (which
+        :meth:`drop_by_magnitude` keeps computing itself — this is the
+        generalized variant, not a replacement).  Returns the dropped
+        flat indices.
+        """
+        if count <= 0:
+            return np.empty(0, dtype=np.int64)
+        mask_flat = self.mask.reshape(-1)
+        weight_flat = self.parameter.data.reshape(-1)
+        active = np.flatnonzero(mask_flat)
+        count = min(count, active.size)
+        if count == 0:
+            return np.empty(0, dtype=np.int64)
+        score_flat = np.abs(scores.reshape(-1)[active])
+        chosen = active[np.argpartition(score_flat, count - 1)[:count]]
+        mask_flat[chosen] = 0.0
+        weight_flat[chosen] = 0.0
+        self.touch()
+        return chosen
+
     def grow_by_score(self, count: int, scores: np.ndarray) -> np.ndarray:
         """Activate the ``count`` inactive positions with the highest score.
 
@@ -503,6 +528,9 @@ class SparsityManager:
     # ------------------------------------------------------------------
     def drop_by_magnitude(self, name: str, count: int) -> np.ndarray:
         return self.states[name].drop_by_magnitude(count)
+
+    def drop_by_score(self, name: str, count: int, scores: np.ndarray) -> np.ndarray:
+        return self.states[name].drop_by_score(count, scores)
 
     def grow_by_score(self, name: str, count: int, scores: np.ndarray) -> np.ndarray:
         return self.states[name].grow_by_score(count, scores)
@@ -1023,6 +1051,15 @@ class DropGrowMethod(SparseTrainingMethod):
         """Dense score array for growth, or ``None`` for random growth."""
         raise NotImplementedError
 
+    def drop_scores(self, name: str) -> Optional[np.ndarray]:
+        """Dense score array for dropping, or ``None`` for magnitude.
+
+        Every published method in this repo drops by weight magnitude
+        (the default); the streaming adaptation layer overrides this
+        with activity-weighted scores.  Lowest score is dropped first.
+        """
+        return None
+
     def round_death_rate(self, iteration: int) -> float:
         """Death/update fraction recorded on the round's audit record."""
         return 0.0
@@ -1040,7 +1077,13 @@ class DropGrowMethod(SparseTrainingMethod):
             iteration=iteration, death_rate=self.round_death_rate(iteration)
         )
         for name, state in self.masks.states.items():
-            dropped = state.drop_by_magnitude(self.drop_count(name, iteration))
+            drop_scores = self.drop_scores(name)
+            if drop_scores is None:
+                dropped = state.drop_by_magnitude(self.drop_count(name, iteration))
+            else:
+                dropped = state.drop_by_score(
+                    self.drop_count(name, iteration), drop_scores
+                )
             grow = self.grow_count(name, iteration, dropped.size)
             grown = np.empty(0, dtype=np.int64)
             if grow > 0:

@@ -1,0 +1,101 @@
+"""Stream fault model: channel dropout, stalls, mid-stream reconnect.
+
+Reuses the shared fault-spec vocabulary from :mod:`repro.train.faults`
+(one config surface for training-time and stream-time faults) and
+applies the stream-scope kinds as an event-feed transform:
+
+* ``channel_dropout`` — a random fraction of a faulted event's
+  channels reads zero (dead sensor lines);
+* ``stall`` — the source goes quiet for ``duration`` seconds: later
+  events of that stream shift forward in time, which is what trips the
+  session's stale-state TTL;
+* ``reconnect`` — the device drops off and reconnects: ``drop``
+  events are lost *and* a ``gap``-second hole opens.
+
+The injector is a pure iterator transform (sessions/ servers consume
+the faulted feed unchanged), deterministic under its seed, and keeps
+every event well-formed — graceful degradation is the session's job,
+delivery of plausible corrupted input is this module's.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Sequence, Union
+
+import numpy as np
+
+from ..train.faults import FaultSpec, parse_fault_spec
+from .events import StreamEvent
+
+
+class StreamFaultInjector:
+    """Applies stream-scope fault specs to an event feed.
+
+    Parameters
+    ----------
+    specs:
+        Stream-scope fault specs (strings or :class:`FaultSpec`).
+        Weight-scope kinds are rejected — those belong to
+        :class:`~repro.train.faults.FaultInjectionCallback`.
+    seed:
+        Seed of the injector's own RNG stream (fault placement is
+        deterministic and independent of model/encoder RNGs).
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[Union[str, FaultSpec]],
+        seed: int = 0,
+    ) -> None:
+        self.specs: List[FaultSpec] = []
+        for spec in specs:
+            parsed = parse_fault_spec(spec) if isinstance(spec, str) else spec
+            if parsed.scope != "stream":
+                raise ValueError(
+                    f"fault {parsed.kind!r} is a weight fault; use "
+                    "FaultInjectionCallback for training-time injection"
+                )
+            self.specs.append(parsed)
+        self.seed = int(seed)
+        self.counts: Dict[str, int] = {"channel_dropout": 0, "stall": 0, "reconnect": 0}
+
+    def apply(self, events: Iterable[StreamEvent]) -> Iterator[StreamEvent]:
+        """Faulted view of ``events`` (a fresh deterministic pass)."""
+        rng = np.random.default_rng(self.seed)
+        offsets: Dict[str, float] = {}
+        pending_drops: Dict[str, int] = {}
+        for event in events:
+            stream_id = event.stream_id
+            if pending_drops.get(stream_id, 0) > 0:
+                pending_drops[stream_id] -= 1
+                continue
+            channels = event.channels
+            for spec in self.specs:
+                p = spec.params.get("p", 1.0)
+                if rng.random() >= p:
+                    continue
+                self.counts[spec.kind] += 1
+                if spec.kind == "channel_dropout":
+                    dead = rng.random(channels.shape[0]) < spec.params["fraction"]
+                    channels = np.where(dead, np.float32(0.0), channels)
+                elif spec.kind == "stall":
+                    offsets[stream_id] = (
+                        offsets.get(stream_id, 0.0) + spec.params["duration"]
+                    )
+                else:  # reconnect: lose events and open a gap
+                    pending_drops[stream_id] = (
+                        pending_drops.get(stream_id, 0) + int(spec.params["drop"])
+                    )
+                    offsets[stream_id] = offsets.get(stream_id, 0.0) + spec.params["gap"]
+            yield StreamEvent(
+                stream_id=stream_id,
+                timestamp=event.timestamp + offsets.get(stream_id, 0.0),
+                channels=channels,
+            )
+
+    def __call__(self, events: Iterable[StreamEvent]) -> Iterator[StreamEvent]:
+        return self.apply(events)
+
+    def __repr__(self) -> str:
+        kinds = [spec.kind for spec in self.specs]
+        return f"StreamFaultInjector(kinds={kinds}, seed={self.seed})"

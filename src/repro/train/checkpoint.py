@@ -141,6 +141,20 @@ def load_inference_state(path: Union[str, Path], model: Module) -> InferenceStat
 # ----------------------------------------------------------------------
 # Full training-state checkpoints (bit-identical resume)
 # ----------------------------------------------------------------------
+def _encoder_rng_state(model) -> Optional[dict]:
+    """State of the input encoder's RNG stream, if it owns one.
+
+    Rate coding (:class:`~repro.snn.encoding.PoissonEncoder`) draws
+    Bernoulli spikes per forward; without capturing its stream a
+    resumed run would re-draw different spike trains and diverge from
+    the uninterrupted one.
+    """
+    encoder_rng = getattr(getattr(model, "encoder", None), "rng", None)
+    if encoder_rng is None:
+        return None
+    return encoder_rng.bit_generator.state
+
+
 def _transform_rngs(loader) -> list:
     """Generators held by the loader's (possibly composed) transforms.
 
@@ -213,6 +227,7 @@ def save_training_state(
         "transform_rng_states": [
             rng.bit_generator.state for rng in _transform_rngs(trainer.train_loader)
         ],
+        "encoder_rng_state": _encoder_rng_state(trainer.model),
         "method": method.state_meta(),
         "history": [stats.as_dict() for stats in history or []],
     }
@@ -295,6 +310,10 @@ def load_training_state(path: Union[str, Path], trainer) -> Dict:
     loader_rng = getattr(trainer.train_loader, "rng", None)
     if loader_rng_state is not None and loader_rng is not None:
         loader_rng.bit_generator.state = loader_rng_state
+    encoder_rng_state = metadata.get("encoder_rng_state")
+    encoder_rng = getattr(getattr(trainer.model, "encoder", None), "rng", None)
+    if encoder_rng_state is not None and encoder_rng is not None:
+        encoder_rng.bit_generator.state = encoder_rng_state
     transform_states = metadata.get("transform_rng_states") or []
     transform_rngs = _transform_rngs(trainer.train_loader)
     if len(transform_states) != len(transform_rngs):

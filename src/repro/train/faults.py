@@ -12,6 +12,7 @@ dict so experiments can restore the pristine weights.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
 import numpy as np
@@ -116,6 +117,104 @@ def inject_bit_flips(
     return snapshot
 
 
+# ----------------------------------------------------------------------
+# Shared fault-spec vocabulary
+# ----------------------------------------------------------------------
+# Training-time (weight) faults and stream-time (event) faults share a
+# single config surface: ``kind:key=value,key=value`` strings parsed by
+# :func:`parse_fault_spec`.  The weight kinds build injectors here; the
+# stream kinds are consumed by
+# :class:`repro.stream.faults.StreamFaultInjector`.
+#: kind -> (scope, {param: (type, default)})
+FAULT_VOCABULARY: Dict[str, tuple] = {
+    "noise": ("weight", {"sigma": (float, 0.1), "relative": (bool, True)}),
+    "dropout": ("weight", {"fraction": (float, 0.1)}),
+    "bitflip": ("weight", {"flips": (int, 1), "bit": (int, 23)}),
+    "dead": ("weight", {"fraction": (float, 0.1)}),
+    "channel_dropout": ("stream", {"fraction": (float, 0.25), "p": (float, 0.1)}),
+    "stall": ("stream", {"duration": (float, 1.0), "p": (float, 0.05)}),
+    "reconnect": ("stream", {"gap": (float, 1.0), "drop": (int, 1), "p": (float, 0.05)}),
+}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One parsed fault: its kind, scope and severity knobs."""
+
+    kind: str
+    scope: str
+    params: Dict[str, object] = field(default_factory=dict)
+
+
+def _parse_value(raw: str, target_type):
+    if target_type is bool:
+        lowered = raw.strip().lower()
+        if lowered in ("1", "true", "yes"):
+            return True
+        if lowered in ("0", "false", "no"):
+            return False
+        raise ValueError(f"expected a boolean, got {raw!r}")
+    return target_type(raw)
+
+
+def parse_fault_spec(spec: str) -> FaultSpec:
+    """Parse ``"kind:key=value,key=value"`` into a :class:`FaultSpec`.
+
+    >>> parse_fault_spec("noise:sigma=0.2").params["sigma"]
+    0.2
+    >>> parse_fault_spec("stall").scope
+    'stream'
+    """
+    head, _, tail = spec.strip().partition(":")
+    kind = head.strip()
+    if kind not in FAULT_VOCABULARY:
+        raise ValueError(
+            f"unknown fault kind {kind!r}; available: {sorted(FAULT_VOCABULARY)}"
+        )
+    scope, schema = FAULT_VOCABULARY[kind]
+    params = {name: default for name, (_, default) in schema.items()}
+    if tail.strip():
+        for item in tail.split(","):
+            key, sep, raw = item.partition("=")
+            key = key.strip()
+            if not sep or key not in schema:
+                raise ValueError(
+                    f"fault {kind!r} got bad parameter {item.strip()!r}; "
+                    f"available: {sorted(schema)}"
+                )
+            params[key] = _parse_value(raw, schema[key][0])
+    return FaultSpec(kind=kind, scope=scope, params=params)
+
+
+def build_injector(
+    spec, rng: Optional[np.random.Generator] = None
+) -> Callable[[Module], Dict[str, np.ndarray]]:
+    """Weight-fault injector (``model -> snapshot``) from a spec.
+
+    ``spec`` is a :class:`FaultSpec` or its string form.  Stream-scope
+    kinds are rejected here — route those through
+    :class:`repro.stream.faults.StreamFaultInjector`.
+    """
+    if isinstance(spec, str):
+        spec = parse_fault_spec(spec)
+    if spec.scope != "weight":
+        raise ValueError(
+            f"fault {spec.kind!r} is a stream fault; use StreamFaultInjector"
+        )
+    p = spec.params
+    if spec.kind == "noise":
+        return lambda model: inject_weight_noise(
+            model, sigma=p["sigma"], rng=rng, relative=p["relative"]
+        )
+    if spec.kind == "dropout":
+        return lambda model: inject_weight_dropout(model, fraction=p["fraction"], rng=rng)
+    if spec.kind == "bitflip":
+        return lambda model: inject_bit_flips(
+            model, flips_per_layer=p["flips"], bit=p["bit"], rng=rng
+        )
+    return lambda model: inject_dead_neurons(model, fraction=p["fraction"], rng=rng)
+
+
 class FaultInjectionCallback(TrainerCallback):
     """Applies a fault injector on a per-epoch schedule during training.
 
@@ -149,6 +248,22 @@ class FaultInjectionCallback(TrainerCallback):
         self.transient = transient
         self.injections = 0
         self._snapshot: Optional[Dict[str, np.ndarray]] = None
+
+    @classmethod
+    def from_spec(
+        cls,
+        spec: str,
+        every: int = 1,
+        transient: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "FaultInjectionCallback":
+        """Build from a shared fault-spec string (see FAULT_VOCABULARY).
+
+        >>> cb = FaultInjectionCallback.from_spec("dropout:fraction=0.2", every=2)
+        >>> cb.every
+        2
+        """
+        return cls(build_injector(spec, rng=rng), every=every, transient=transient)
 
     def on_epoch_start(self, trainer, epoch: int) -> None:
         if epoch % self.every != 0:

@@ -31,4 +31,4 @@ def test_every_doc_is_covered():
     """The docs suite the ISSUE asks for exists and is non-empty."""
     names = {path.name for path in DOCUMENTS}
     assert {"architecture.md", "methods.md", "distributed_sweeps.md",
-            "serving.md", "README.md"} <= names
+            "serving.md", "streaming.md", "README.md"} <= names

@@ -99,3 +99,93 @@ class TestServingRegressionGate:
         doctored["compact_p50_speedup_at_50"] = 1e6
         bad.write_text(json.dumps(doctored))
         assert bench.main(argv + ["--check", str(bad)]) == 1
+
+
+@pytest.mark.smoke
+class TestStreamingRegressionGate:
+    TINY_ARGS = dict(streams=2, channels=8, events=24, window=4, hidden=16)
+
+    def tiny_payload(self, bench):
+        return bench.run_streaming(repeats=1, **self.TINY_ARGS)
+
+    def test_self_baseline_passes_and_doctored_baseline_fails(self):
+        bench = load_bench("bench_streaming")
+        payload = self.tiny_payload(bench)
+        assert payload["all_bit_identical"]
+        assert bench.check_regressions(payload, payload) == []
+        doctored = dict(payload)
+        doctored["csr_event_speedup"] = payload["csr_event_speedup"] * 100.0
+        failures = bench.check_regressions(doctored, payload)
+        assert any("csr_event_speedup" in failure for failure in failures)
+
+    def test_divergent_results_always_fail(self):
+        bench = load_bench("bench_streaming")
+        payload = self.tiny_payload(bench)
+        diverged = dict(payload)
+        diverged["all_bit_identical"] = False
+        failures = bench.check_regressions(payload, diverged)
+        assert any("all_bit_identical" in failure for failure in failures)
+
+    def test_check_cli_exit_codes(self, tmp_path):
+        bench = load_bench("bench_streaming")
+        payload = self.tiny_payload(bench)
+        argv = ["--repeats", "1", "--streams", "2", "--channels", "8",
+                "--events", "24", "--window", "4", "--hidden", "16"]
+        good = tmp_path / "baseline.json"
+        # Near-zero ratio floors pass on any machine; this exercises
+        # the full --check path without timing flakiness.
+        relaxed = dict(payload)
+        for metric in bench.HEADLINE_METRICS:
+            relaxed[metric] = 1e-6
+        good.write_text(json.dumps(relaxed))
+        assert bench.main(argv + ["--check", str(good)]) == 0
+        bad = tmp_path / "doctored.json"
+        doctored = dict(payload)
+        doctored["tumbling_vs_sliding_speedup"] = 1e6
+        bad.write_text(json.dumps(doctored))
+        assert bench.main(argv + ["--check", str(bad)]) == 1
+
+
+@pytest.mark.smoke
+class TestCheckAllEntryPoint:
+    def test_runs_selected_gate_against_relaxed_and_doctored_baselines(
+        self, tmp_path
+    ):
+        check_all = load_bench("check_all")
+        bench = load_bench("bench_streaming")
+        payload = bench.run_streaming(
+            streams=2, channels=8, events=24, window=4, hidden=16, repeats=1,
+        )
+        relaxed = dict(payload)
+        for metric in bench.HEADLINE_METRICS:
+            relaxed[metric] = 1e-6
+        (tmp_path / "BENCH_streaming.json").write_text(json.dumps(relaxed))
+        fast = ["--repeats", "1", "--streams", "2", "--channels", "8",
+                "--events", "24", "--window", "4", "--hidden", "16"]
+        check_all.GATES["streaming"] = (
+            "bench_streaming", "BENCH_streaming.json", fast,
+        )
+        argv = ["--only", "streaming", "--baseline-dir", str(tmp_path)]
+        assert check_all.main(argv) == 0
+        doctored = dict(payload)
+        doctored["csr_event_speedup"] = 1e6
+        (tmp_path / "BENCH_streaming.json").write_text(json.dumps(doctored))
+        assert check_all.main(argv) == 1
+
+    def test_missing_baseline_fails(self, tmp_path):
+        check_all = load_bench("check_all")
+        argv = ["--only", "streaming", "--baseline-dir", str(tmp_path)]
+        assert check_all.main(argv) == 1
+
+    def test_registry_covers_all_four_gates(self):
+        check_all = load_bench("check_all")
+        assert set(check_all.GATES) == {
+            "kernels", "sweep", "serving", "streaming",
+        }
+        for module_name, baseline, _ in check_all.GATES.values():
+            assert os.path.exists(
+                os.path.join(BENCH_DIR, module_name + ".py")
+            )
+            assert os.path.exists(
+                os.path.join(BENCH_DIR, "..", baseline)
+            )

@@ -38,6 +38,28 @@ class TestPoissonEncoder:
         x = Tensor(np.array([[2.0]], dtype=np.float32))  # clipped to 1 -> always fires
         assert all(frame.data[0, 0] == 1.0 for frame in encoder(x))
 
+    def test_seeded_by_default(self):
+        """No rng argument is still deterministic (seed-derived stream)."""
+        x = Tensor(np.random.default_rng(4).random((3, 3)).astype(np.float32))
+        first = [f.data for f in PoissonEncoder(timesteps=6)(x)]
+        second = [f.data for f in PoissonEncoder(timesteps=6)(x)]
+        for a, b in zip(first, second):
+            assert np.array_equal(a, b)
+        other = [f.data for f in PoissonEncoder(timesteps=6, seed=1)(x)]
+        assert any(not np.array_equal(a, b) for a, b in zip(first, other))
+
+    def test_rng_stream_is_capturable(self):
+        """The public rng supports checkpoint capture/restore mid-stream."""
+        x = Tensor(np.random.default_rng(5).random((3, 3)).astype(np.float32))
+        encoder = PoissonEncoder(timesteps=4, seed=2)
+        list(encoder(x))  # advance the stream
+        saved = encoder.rng.bit_generator.state
+        want = [f.data for f in encoder(x)]
+        encoder.rng.bit_generator.state = saved
+        got = [f.data for f in encoder(x)]
+        for a, b in zip(want, got):
+            assert np.array_equal(a, b)
+
 
 class TestLatencyEncoder:
     def test_exactly_one_spike_per_pixel(self):

@@ -1,0 +1,138 @@
+"""Continual online adaptation: density held, activity-guided rewiring."""
+
+import numpy as np
+import pytest
+
+from repro.data.telemetry import make_telemetry_stream
+from repro.snn.models import SpikingMLP
+from repro.sparse import SparsityManager
+from repro.stream import AdaptiveStreamSession, OnlineAdaptation
+
+CHANNELS = 6
+
+
+def make_pair(seed=0, density=0.5, window=4):
+    model = SpikingMLP(CHANNELS, 3, hidden=(10,), timesteps=window,
+                       rng=np.random.default_rng(seed))
+    manager = SparsityManager(model, rng=np.random.default_rng(seed + 1))
+    manager.init_random({name: density for name in manager.states})
+    return model, manager
+
+
+def make_feed(streams=1, events=24, seed=0):
+    return list(make_telemetry_stream(
+        num_streams=streams, num_channels=CHANNELS, num_events=events, seed=seed,
+    ))
+
+
+def run_feed(session, feed):
+    return [r for e in feed if (r := session.process(e)) is not None]
+
+
+class TestAdaptiveStreamSession:
+    def test_density_held_exactly_across_rounds(self):
+        model, manager = make_pair()
+        before = {name: manager.nonzero_count(name) for name in manager.states}
+        session = AdaptiveStreamSession(model, manager, adapt_every=1, window=4)
+        run_feed(session, make_feed(events=24))
+        assert session.adaptation_rounds == 6
+        after = {name: manager.nonzero_count(name) for name in manager.states}
+        assert after == before
+
+    def test_masks_actually_rewire(self):
+        model, manager = make_pair()
+        before = manager.copy_masks()
+        session = AdaptiveStreamSession(model, manager, adapt_every=1,
+                                        death_rate=0.3, window=4)
+        run_feed(session, make_feed(events=16))
+        after = manager.copy_masks()
+        assert any(not np.array_equal(before[n], after[n]) for n in before)
+
+    def test_adaptation_cadence_and_history(self):
+        model, manager = make_pair()
+        session = AdaptiveStreamSession(model, manager, adapt_every=3, window=4)
+        run_feed(session, make_feed(events=24))  # 6 windows -> 2 rounds
+        assert session.adaptation_rounds == 2
+        assert len(session.method.history) == 2
+        record = session.method.history[0]
+        assert record.total_dropped == record.total_grown
+
+    def test_frozen_manager_is_thawed(self):
+        model, manager = make_pair()
+        manager.freeze()
+        session = AdaptiveStreamSession(model, manager)
+        assert not manager.frozen
+        assert session.manager is manager
+
+    def test_activity_emas_populate_for_matching_layers(self):
+        model, manager = make_pair()
+        session = AdaptiveStreamSession(model, manager, window=4)
+        run_feed(session, make_feed(events=8))
+        method = session.method
+        assert method.activity  # at least the input layer observed
+        for name, ema in method.activity.items():
+            assert ema.shape == (manager.states[name].shape[-1],)
+            assert ema.dtype == np.float32
+            assert np.isfinite(ema).all()
+
+    def test_emitted_windows_stay_finite_under_adaptation(self):
+        model, manager = make_pair()
+        session = AdaptiveStreamSession(model, manager, adapt_every=1,
+                                        window=4, encoder="rate")
+        results = run_feed(session, make_feed(streams=2, events=12))
+        assert results
+        for result in results:
+            assert np.isfinite(result.logits).all()
+
+    def test_validation(self):
+        model, manager = make_pair()
+        with pytest.raises(ValueError, match="adapt_every"):
+            AdaptiveStreamSession(model, manager, adapt_every=0)
+        with pytest.raises(ValueError, match="death_rate"):
+            OnlineAdaptation(model, manager, death_rate=0.0)
+        with pytest.raises(ValueError, match="ema_decay"):
+            OnlineAdaptation(model, manager, ema_decay=1.0)
+
+
+class TestOnlineAdaptation:
+    def test_update_before_observation_falls_back_to_magnitude(self):
+        model, manager = make_pair()
+        method = OnlineAdaptation(model, manager, death_rate=0.2,
+                                  rng=np.random.default_rng(0))
+        method.setup()
+        before = {name: manager.nonzero_count(name) for name in manager.states}
+        assert all(method.drop_scores(name) is None for name in manager.states)
+        method.update_topology(1)  # no EMA yet: magnitude/random path
+        after = {name: manager.nonzero_count(name) for name in manager.states}
+        assert after == before
+
+    def test_scores_favor_active_inputs(self):
+        model, manager = make_pair(density=1.0)
+        method = OnlineAdaptation(model, manager, ema_decay=0.0)
+        frame = np.zeros((1, CHANNELS), dtype=np.float32)
+        frame[0, 0] = 1.0
+        # Observe without running the model: only the input layer's EMA
+        # (frame-aligned) is exercised here.
+        method.observe(frame)
+        (input_layer,) = [
+            name for name, state in manager.states.items()
+            if state.shape[-1] == CHANNELS
+        ]
+        scores = method.drop_scores(input_layer)
+        assert scores is not None
+        # Column 0 saw activity 1.0, the rest 0.0 — its scores dominate
+        # for any fixed row magnitude.
+        assert scores[:, 0].min() > scores[:, 1:].max() * 0.9
+
+    def test_ema_decays_toward_recent_activity(self):
+        model, manager = make_pair(density=1.0)
+        method = OnlineAdaptation(model, manager, ema_decay=0.5)
+        hot = np.ones((1, CHANNELS), dtype=np.float32)
+        cold = np.zeros((1, CHANNELS), dtype=np.float32)
+        method.observe(hot)
+        method.observe(cold)
+        (input_layer,) = [
+            name for name, state in manager.states.items()
+            if state.shape[-1] == CHANNELS
+        ]
+        assert np.allclose(method.activity[input_layer], 0.5)

@@ -184,6 +184,41 @@ def point_calibration_world(monkeypatch, directory, cutoff):
     )
 
 
+class TestEncoderRngResume:
+    """Poisson-encoded runs must resume bit-identically.
+
+    The encoder draws from its own RNG stream every batch; without
+    capturing it in the checkpoint, a resumed run would re-encode the
+    remaining epochs with different spike trains.
+    """
+
+    def test_poisson_run_resumes_bit_identical(self, tmp_path):
+        config = scaled_config("cifar10", "convnet", "ndsnn", 0.9,
+                               encoder="poisson", **FAST)
+        golden = run_experiment(config)
+        resumed = _interrupted_then_resumed(config, tmp_path / "job")
+        assert [s.as_dict() for s in resumed.history] == [
+            s.as_dict() for s in golden.history
+        ]
+
+    def test_encoder_rng_state_is_in_the_sidecar(self, tmp_path):
+        from repro.utils import load_json
+
+        config = scaled_config("cifar10", "convnet", "ndsnn", 0.9,
+                               encoder="poisson", **FAST)
+        run_experiment(config, checkpoint_path=tmp_path / "job")
+        metadata = load_json((tmp_path / "job").with_suffix(".json"))
+        assert metadata["encoder_rng_state"]["bit_generator"] == "PCG64"
+
+    def test_direct_encoder_has_no_rng_state(self, tmp_path):
+        from repro.utils import load_json
+
+        config = scaled_config("cifar10", "convnet", "ndsnn", 0.9, **FAST)
+        run_experiment(config, checkpoint_path=tmp_path / "job")
+        metadata = load_json((tmp_path / "job").with_suffix(".json"))
+        assert metadata["encoder_rng_state"] is None
+
+
 class TestCalibrationResume:
     """Checkpointed dispatch decisions override fresh measurement.
 

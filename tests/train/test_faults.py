@@ -12,6 +12,13 @@ from repro.train import (
     inject_weight_noise,
     restore,
 )
+from repro.train.faults import (
+    FAULT_VOCABULARY,
+    FaultInjectionCallback,
+    FaultSpec,
+    build_injector,
+    parse_fault_spec,
+)
 
 
 def make_model(seed=0):
@@ -143,3 +150,112 @@ class TestDeadNeurons:
         noisy = evaluate(model, test_loader)
         assert clean > 0.5
         assert noisy > clean - 0.35  # mild noise does not collapse the model
+
+
+class TestFaultSpecParser:
+    """The shared ``kind:key=value`` vocabulary behind --fault flags."""
+
+    def test_parses_kind_and_parameters(self):
+        spec = parse_fault_spec("noise:sigma=0.2,relative=false")
+        assert spec.kind == "noise"
+        assert spec.scope == "weight"
+        assert spec.params == {"sigma": 0.2, "relative": False}
+
+    def test_defaults_fill_omitted_parameters(self):
+        for kind, (scope, schema) in FAULT_VOCABULARY.items():
+            spec = parse_fault_spec(kind)
+            assert spec.scope == scope
+            assert spec.params == {
+                name: default for name, (_, default) in schema.items()
+            }
+
+    def test_types_are_coerced(self):
+        spec = parse_fault_spec("reconnect:gap=2.5,drop=3")
+        assert spec.params["gap"] == 2.5
+        assert spec.params["drop"] == 3
+        assert isinstance(spec.params["drop"], int)
+
+    def test_unknown_kind_lists_vocabulary(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            parse_fault_spec("gremlins:count=3")
+
+    def test_bad_parameter_is_rejected(self):
+        with pytest.raises(ValueError, match="bad parameter"):
+            parse_fault_spec("noise:volume=11")
+        with pytest.raises(ValueError, match="bad parameter"):
+            parse_fault_spec("noise:sigma")  # missing '='
+        with pytest.raises(ValueError, match="boolean"):
+            parse_fault_spec("noise:relative=maybe")
+
+    def test_spec_is_immutable(self):
+        spec = parse_fault_spec("stall")
+        with pytest.raises(AttributeError):
+            spec.kind = "other"
+
+
+class TestBuildInjector:
+    @pytest.mark.parametrize("spec", [
+        "noise:sigma=0.1", "dropout:fraction=0.3",
+        "bitflip:flips=2,bit=0", "dead:fraction=0.25",
+    ])
+    def test_weight_kinds_inject_and_restore(self, spec):
+        model = make_model(seed=11)
+        before = weights_of(model)
+        injector = build_injector(spec, rng=np.random.default_rng(12))
+        snapshot = injector(model)
+        restore(model, snapshot)
+        after = weights_of(model)
+        for name in before:
+            assert np.array_equal(before[name], after[name])
+
+    def test_stream_kinds_are_rejected(self):
+        with pytest.raises(ValueError, match="StreamFaultInjector"):
+            build_injector("channel_dropout:fraction=0.5")
+        with pytest.raises(ValueError, match="StreamFaultInjector"):
+            build_injector(FaultSpec(kind="stall", scope="stream", params={}))
+
+
+class TestCallbackFromSpec:
+    def test_from_spec_builds_a_working_callback(self):
+        callback = FaultInjectionCallback.from_spec(
+            "dropout:fraction=0.5", every=2, transient=True,
+            rng=np.random.default_rng(13),
+        )
+        assert callback.every == 2
+        assert callback.transient
+
+        class _Method:
+            masks = None
+
+        class _Trainer:
+            model = make_model(seed=14)
+            method = _Method()
+
+        trainer = _Trainer()
+        before = weights_of(trainer.model)
+        callback.on_epoch_start(trainer, 0)
+        assert callback.injections == 1
+        dropped = weights_of(trainer.model)
+        assert any(
+            np.count_nonzero(dropped[n]) < np.count_nonzero(before[n])
+            for n in before
+        )
+        callback.on_epoch_end(trainer, 0, stats=None)  # transient: undo
+        after = weights_of(trainer.model)
+        for name in before:
+            assert np.array_equal(before[name], after[name])
+
+    def test_every_respects_schedule(self):
+        callback = FaultInjectionCallback.from_spec("noise:sigma=0.0", every=2)
+
+        class _Method:
+            masks = None
+
+        class _Trainer:
+            model = make_model(seed=15)
+            method = _Method()
+
+        trainer = _Trainer()
+        for epoch in range(4):
+            callback.on_epoch_start(trainer, epoch)
+        assert callback.injections == 2  # epochs 0 and 2

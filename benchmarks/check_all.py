@@ -1,8 +1,8 @@
 """Single entry point for every benchmark regression gate.
 
-Runs the four ``--check`` gates (kernels, sweep scaling, serving,
-streaming) against their committed ``BENCH_*.json`` baselines in one
-command::
+Runs the five ``--check`` gates (kernels, sweep scaling, serving,
+streaming, packaging) against their committed ``BENCH_*.json``
+baselines in one command::
 
     PYTHONPATH=src python benchmarks/check_all.py
 
@@ -15,11 +15,14 @@ covers everything.
 ``--only NAME`` runs a subset; ``--baseline-dir`` points somewhere
 other than the repo root (e.g. a CI artifact directory); extra
 per-gate arguments are fixed fast settings chosen to keep a full run
-in CI-friendly time.
+in CI-friendly time.  ``--json PATH`` additionally writes a
+machine-readable summary (per-gate exit codes and the overall verdict)
+for CI dashboards; ``-`` prints it to stdout.
 """
 
 import argparse
 import importlib.util
+import json
 import os
 
 BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
@@ -35,6 +38,11 @@ GATES = {
     ),
     "serving": ("bench_serving", "BENCH_serving.json", ["--repeats", "5", "--no-server"]),
     "streaming": ("bench_streaming", "BENCH_streaming.json", []),
+    "packaging": (
+        "bench_packaging",
+        "BENCH_packaging.json",
+        ["--repeats", "5", "--load-repeats", "3"],
+    ),
 }
 
 
@@ -65,26 +73,48 @@ def main(argv=None):
     )
     parser.add_argument(
         "--only", action="append", choices=sorted(GATES), default=None,
-        help="gate to run (repeatable; default: all four)",
+        help="gate to run (repeatable; default: all five)",
     )
     parser.add_argument(
         "--baseline-dir", default=REPO_ROOT,
         help="directory holding the committed BENCH_*.json baselines",
     )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write a machine-readable summary here ('-' for stdout)",
+    )
     args = parser.parse_args(argv)
     gates = args.only or sorted(GATES)
+    results = {}
     failures = []
     for gate in gates:
         code = run_gate(gate, args.baseline_dir)
         status = "ok" if code == 0 else f"FAILED (exit {code})"
         print(f"[{gate}] {status}")
+        results[gate] = {
+            "exit_code": code,
+            "ok": code == 0,
+            "baseline": GATES[gate][1],
+        }
         if code != 0:
             failures.append(gate)
     if failures:
         print(f"{len(failures)}/{len(gates)} gate(s) failed: {', '.join(failures)}")
-        return 1
-    print(f"all {len(gates)} gate(s) passed")
-    return 0
+    else:
+        print(f"all {len(gates)} gate(s) passed")
+    if args.json is not None:
+        summary = json.dumps({
+            "gates": results,
+            "failed": failures,
+            "ok": not failures,
+        }, indent=2, sort_keys=True)
+        if args.json == "-":
+            print(summary)
+        else:
+            with open(args.json, "w") as fh:
+                fh.write(summary + "\n")
+            print(f"wrote {args.json}")
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

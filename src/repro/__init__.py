@@ -24,19 +24,38 @@ Subpackages
     Async batched inference serving over trained checkpoints.
 """
 
-from . import data, experiments, nn, optim, serve, snn, sparse, tensor, train
+import importlib
 
 __version__ = "1.0.0"
 
-__all__ = [
-    "tensor",
+#: Subpackages are imported lazily (PEP 562) so deployment paths stay
+#: lean: serving a packed ``.reprom`` artifact must not drag
+#: ``repro.train`` / ``repro.experiments`` into the process (pinned by
+#: a subprocess test).  ``import repro; repro.train`` still works — the
+#: first attribute access triggers the import.
+_SUBPACKAGES = (
+    "data",
+    "experiments",
     "nn",
+    "optim",
+    "serve",
     "snn",
     "sparse",
-    "optim",
-    "data",
+    "stream",
+    "tensor",
     "train",
-    "experiments",
-    "serve",
-    "__version__",
-]
+)
+
+__all__ = list(_SUBPACKAGES) + ["__version__"]
+
+
+def __getattr__(name):
+    if name in _SUBPACKAGES:
+        module = importlib.import_module(f".{name}", __name__)
+        globals()[name] = module
+        return module
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_SUBPACKAGES))

@@ -60,7 +60,9 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
-    def add_workload_arguments(parser: argparse.ArgumentParser) -> None:
+    def add_workload_arguments(
+        parser: argparse.ArgumentParser, include_out: bool = True
+    ) -> None:
         parser.add_argument("--dataset", default="cifar10", choices=sorted(DATASET_SPECS))
         parser.add_argument("--model", default="vgg16", choices=sorted(MODEL_REGISTRY))
         parser.add_argument("--sparsity", type=float, default=0.9)
@@ -84,7 +86,8 @@ def _build_parser() -> argparse.ArgumentParser:
             help="masked-layer kernels: dense, auto (CSR below the "
                  "measured per-shape density cutoff; the default) or csr",
         )
-        parser.add_argument("--out", default=None, help="write the outcome as JSON")
+        if include_out:
+            parser.add_argument("--out", default=None, help="write the outcome as JSON")
 
     run = commands.add_parser("run", help="train one method on one workload")
     add_workload_arguments(run)
@@ -98,9 +101,22 @@ def _build_parser() -> argparse.ArgumentParser:
 
     def add_serving_arguments(parser: argparse.ArgumentParser) -> None:
         parser.add_argument(
-            "--checkpoint", required=True,
+            "--checkpoint", default=None,
             help="checkpoint written by `repro run --checkpoint` (or any "
                  "save_checkpoint/save_training_state file)",
+        )
+        parser.add_argument(
+            "--package", default=None,
+            help="packed .reprom artifact from `repro export` — mmap'd "
+                 "zero-copy, no training stack (exactly one of "
+                 "--checkpoint / --package)",
+        )
+        parser.add_argument(
+            "--precision", default=None, choices=("f32", "f16", "int8"),
+            help="--package runtime: f32 (default; pre-scale quantized "
+                 "values into frozen float32 buffers at load) or the "
+                 "artifact's stored f16/int8 (dequantize row-blocks on "
+                 "the fly, minimal memory)",
         )
         parser.add_argument("--method", default="ndsnn", choices=METHOD_CHOICES + ("structured",))
         parser.add_argument(
@@ -137,6 +153,30 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--clients", type=int, default=4,
         help="concurrent closed-loop client threads",
+    )
+
+    export = commands.add_parser(
+        "export",
+        help="pack a checkpoint into a single-file .reprom serving artifact",
+    )
+    add_workload_arguments(export, include_out=False)
+    export.add_argument(
+        "--checkpoint", required=True,
+        help="checkpoint to pack (save_checkpoint or save_training_state)",
+    )
+    export.add_argument(
+        "--out", required=True,
+        help="output .reprom path (delta+varint indices, quantized "
+             "values, f16 biases, mmap-ready layout)",
+    )
+    export.add_argument(
+        "--precision", default="int8", choices=("f32", "f16", "int8"),
+        help="stored value precision (default int8: per-row absmax "
+             "calibration, ~4x smaller than the f32 checkpoint at 90%% "
+             "sparsity)",
+    )
+    export.add_argument(
+        "--method", default="ndsnn", choices=METHOD_CHOICES + ("structured",)
     )
 
     def add_queue_arguments(parser: argparse.ArgumentParser, spool_required: bool) -> None:
@@ -459,20 +499,66 @@ def _command_sweep_status(args: argparse.Namespace) -> int:
 
 
 def _serving_registry(args: argparse.Namespace):
-    """Registry with the checkpoint from ``args`` under name 'model'."""
+    """Registry with the checkpoint/package from ``args`` under name 'model'."""
     from .serve import ModelRegistry
 
+    if (args.checkpoint is None) == (args.package is None):
+        raise SystemExit(
+            "error: pass exactly one of --checkpoint or --package"
+        )
     config = _config_from_args(args, args.method)
     registry = ModelRegistry()
-    registry.load_checkpoint(
-        "model",
-        config,
-        args.checkpoint,
-        execution=args.execution,
-        compact=args.compact,
-        max_batch=args.max_batch,
-    )
+    if args.package is not None:
+        registry.load_package(
+            "model",
+            args.package,
+            precision=args.precision,
+            max_batch=args.max_batch,
+        )
+    else:
+        registry.load_checkpoint(
+            "model",
+            config,
+            args.checkpoint,
+            execution=args.execution,
+            compact=args.compact,
+            max_batch=args.max_batch,
+        )
     return registry, config
+
+
+def _command_export(args: argparse.Namespace) -> int:
+    from .experiments.runner import build_experiment_model
+    from .sparse.engine import SparsityManager
+    from .sparse.packaging import spec_from_config, write_package
+    from .train.checkpoint import load_inference_state
+
+    config = _config_from_args(args, args.method)
+    model = build_experiment_model(config)
+    state = load_inference_state(args.checkpoint, model)
+    manager = SparsityManager(model)
+    if state.masks:
+        manager.load_masks(state.masks)
+    if state.calibration is not None:
+        manager.calibration = state.calibration
+    manager.set_execution(args.execution)
+    model.eval()
+    summary = write_package(
+        args.out, model, manager, spec_from_config(config),
+        precision=args.precision,
+    )
+    storage = summary["storage"]
+    print(
+        format_table(
+            ["precision", "layers", "dense_entries", "file_bytes",
+             "layer_bytes", "dense_bytes"],
+            [(summary["precision"], summary["layers"],
+              summary["dense_entries"], summary["file_bytes"],
+              storage["layer_bytes"], storage["dense_bytes"])],
+            title=f"packed {args.out}",
+        )
+    )
+    return 0
 
 
 def _command_infer(args: argparse.Namespace) -> int:
@@ -732,6 +818,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": _command_run,
         "infer": _command_infer,
         "serve": _command_serve,
+        "export": _command_export,
         "sweep": _command_sweep,
         "worker": _command_worker,
         "sweep-status": _command_sweep_status,

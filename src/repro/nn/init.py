@@ -3,11 +3,41 @@
 from __future__ import annotations
 
 import math
+from contextlib import contextmanager
 from typing import Optional, Tuple
 
 import numpy as np
 
 _DEFAULT_RNG = np.random.default_rng(0)
+
+#: While > 0, every initializer returns zeros instead of drawing from
+#: its RNG.  Package loading (:mod:`repro.sparse.packaging`) builds the
+#: model geometry under :func:`skip_init` because every parameter is
+#: immediately overwritten (or bypassed entirely by a CSR pattern), so
+#: the RNG draws would be pure cold-start cost.
+_SKIP_DEPTH = 0
+
+
+@contextmanager
+def skip_init():
+    """Make all initializers return zeros inside the ``with`` block.
+
+    Nestable and cheap: ``np.zeros`` is a calloc, so building a model
+    under ``skip_init()`` costs allocation only.  Only use it when every
+    parameter will be overwritten afterwards — the RNG streams are *not*
+    advanced, so a model built under it is not comparable to a normally
+    initialized one.
+    """
+    global _SKIP_DEPTH
+    _SKIP_DEPTH += 1
+    try:
+        yield
+    finally:
+        _SKIP_DEPTH -= 1
+
+
+def _skipping() -> bool:
+    return _SKIP_DEPTH > 0
 
 
 def _fan_in_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
@@ -24,6 +54,8 @@ def _fan_in_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
 
 def kaiming_uniform(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None, gain: float = math.sqrt(2.0)) -> np.ndarray:
     """He/Kaiming uniform init (default for conv/linear weights)."""
+    if _skipping():
+        return np.zeros(shape, dtype=np.float32)
     gen = rng if rng is not None else _DEFAULT_RNG
     fan_in, _ = _fan_in_out(shape)
     bound = gain * math.sqrt(3.0 / fan_in)
@@ -32,6 +64,8 @@ def kaiming_uniform(shape: Tuple[int, ...], rng: Optional[np.random.Generator] =
 
 def kaiming_normal(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None, gain: float = math.sqrt(2.0)) -> np.ndarray:
     """He/Kaiming normal init."""
+    if _skipping():
+        return np.zeros(shape, dtype=np.float32)
     gen = rng if rng is not None else _DEFAULT_RNG
     fan_in, _ = _fan_in_out(shape)
     std = gain / math.sqrt(fan_in)
@@ -40,6 +74,8 @@ def kaiming_normal(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = 
 
 def xavier_uniform(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None) -> np.ndarray:
     """Glorot/Xavier uniform init."""
+    if _skipping():
+        return np.zeros(shape, dtype=np.float32)
     gen = rng if rng is not None else _DEFAULT_RNG
     fan_in, fan_out = _fan_in_out(shape)
     bound = math.sqrt(6.0 / (fan_in + fan_out))
@@ -48,6 +84,8 @@ def xavier_uniform(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = 
 
 def uniform_bias(shape: Tuple[int, ...], weight_shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None) -> np.ndarray:
     """Torch-style bias init: U(-1/sqrt(fan_in), 1/sqrt(fan_in))."""
+    if _skipping():
+        return np.zeros(shape, dtype=np.float32)
     gen = rng if rng is not None else _DEFAULT_RNG
     fan_in, _ = _fan_in_out(weight_shape)
     bound = 1.0 / math.sqrt(fan_in)

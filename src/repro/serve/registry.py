@@ -12,7 +12,11 @@ from ..sparse.engine import SparsityManager
 from ..sparse.inference import serving_storage_report
 from ..sparse.structured import compact_model
 from ..tensor import Tensor, no_grad
-from ..train.checkpoint import load_inference_state
+
+# NOTE: repro.train / repro.experiments are imported lazily inside
+# load_checkpoint only.  Package-backed serving (load_package) must work
+# without the training stack in the process — the no-training-import
+# test pins this.
 
 DEFAULT_MAX_BATCH = 8
 
@@ -144,6 +148,7 @@ class ModelRegistry:
         layers keep the CSR route.
         """
         from ..experiments.runner import build_experiment_model
+        from ..train.checkpoint import load_inference_state
 
         path = Path(path)
 
@@ -159,5 +164,34 @@ class ModelRegistry:
             if compact:
                 manager = compact_model(model, manager)
             return model, manager
+
+        return self.register(name, factory, max_batch=max_batch)
+
+    def load_package(
+        self,
+        name: str,
+        path: Union[str, Path],
+        precision: Optional[str] = None,
+        max_batch: int = DEFAULT_MAX_BATCH,
+    ) -> "ModelRegistry":
+        """Register a packed ``.reprom`` artifact (mmap, zero-copy).
+
+        The file is mapped **once**; every session the factory mints
+        rebuilds only the model geometry (under
+        :func:`~repro.nn.init.skip_init`) and aliases the shared map
+        for its CSR values and f16 biases — N workers cost one copy of
+        the weights.  ``precision`` picks the runtime: the default
+        ``"f32"`` pre-scales quantized values into frozen float32 CSR
+        buffers at load (full engine dispatch speed); ``"f16"`` /
+        ``"int8"`` keep the mapped buffers at stored precision and
+        dequantize row-blocks on the fly.  No training-stack module is
+        imported on this path.
+        """
+        from ..sparse.packaging import PackedModel, build_packed_runtime
+
+        package = PackedModel(path)
+
+        def factory():
+            return build_packed_runtime(package, precision=precision)
 
         return self.register(name, factory, max_batch=max_batch)

@@ -51,6 +51,21 @@ from .inference import (
     compression_report,
     serving_storage_report,
 )
+from .packaging import (
+    PRECISIONS,
+    PackedManager,
+    PackedModel,
+    PackedState,
+    build_packed_runtime,
+    delta_decode_indices,
+    delta_encode_indices,
+    dequantize_rows,
+    packed_layer_bytes,
+    quantize_rows_int8,
+    varint_decode,
+    varint_encode,
+    write_package,
+)
 from .erk import (
     build_distribution,
     erk_densities,
@@ -117,6 +132,19 @@ __all__ = [
     "compressed_storage_bits",
     "compression_report",
     "serving_storage_report",
+    "PRECISIONS",
+    "PackedManager",
+    "PackedModel",
+    "PackedState",
+    "build_packed_runtime",
+    "delta_encode_indices",
+    "delta_decode_indices",
+    "quantize_rows_int8",
+    "dequantize_rows",
+    "packed_layer_bytes",
+    "varint_encode",
+    "varint_decode",
+    "write_package",
     "MaskManager",
     "sparsifiable_parameters",
     "erk_densities",

@@ -24,28 +24,49 @@ from .storage import CSRMatrix, csr_encode
 
 
 class CSRLinear(Module):
-    """Inference-only linear layer backed by a CSR weight matrix."""
+    """Inference-only linear layer backed by a CSR weight matrix.
 
-    def __init__(self, matrix: CSRMatrix, bias: np.ndarray = None) -> None:
+    ``matrix.data`` may be float32, float16, or int8; int8 needs the
+    per-row ``scales`` (from the packed artifact's absmax calibration)
+    and is dequantized row-block by row-block during the forward, so
+    the mapped int8 buffer is never expanded wholesale.  The bias keeps
+    its stored dtype (f16 in packed artifacts) — numpy upcasts on use.
+    """
+
+    def __init__(
+        self,
+        matrix: CSRMatrix,
+        bias: np.ndarray = None,
+        scales: np.ndarray = None,
+    ) -> None:
         super().__init__()
         self.matrix = matrix
-        self.bias_value = None if bias is None else np.asarray(bias, dtype=np.float32)
+        self.bias_value = None if bias is None else np.asarray(bias)
+        self.scales = scales
 
     @classmethod
     def from_layer(cls, layer: Linear) -> "CSRLinear":
         bias = layer.bias.data if layer.bias is not None else None
         return cls(csr_encode(layer.weight.data), bias)
 
+    def _row_values(self, start: int, stop: int, row: int) -> np.ndarray:
+        values = self.matrix.data[start:stop]
+        if self.scales is not None:
+            return values.astype(np.float32) * self.scales[row]
+        if values.dtype != np.float32:
+            return values.astype(np.float32)
+        return values
+
     def forward(self, x: Tensor) -> Tensor:
         # y = x W^T: compute row-wise via the CSR structure.
         data = x.data
         out = np.zeros((data.shape[0], self.matrix.shape[0]), dtype=np.float32)
-        indptr, indices, values = self.matrix.indptr, self.matrix.indices, self.matrix.data
+        indptr, indices = self.matrix.indptr, self.matrix.indices
         for row in range(self.matrix.shape[0]):
             start, stop = indptr[row], indptr[row + 1]
             if start == stop:
                 continue
-            out[:, row] = data[:, indices[start:stop]] @ values[start:stop]
+            out[:, row] = data[:, indices[start:stop]] @ self._row_values(start, stop, row)
         if self.bias_value is not None:
             out += self.bias_value
         return Tensor(out)
@@ -69,14 +90,16 @@ class CSRConv2d(Module):
         stride: int,
         padding: int,
         in_channels: int,
+        scales: np.ndarray = None,
     ) -> None:
         super().__init__()
         self.matrix = matrix
-        self.bias_value = None if bias is None else np.asarray(bias, dtype=np.float32)
+        self.bias_value = None if bias is None else np.asarray(bias)
         self.kernel_size = kernel_size
         self.stride = stride
         self.padding = padding
         self.in_channels = in_channels
+        self.scales = scales
 
     @classmethod
     def from_layer(cls, layer: Conv2d) -> "CSRConv2d":
@@ -105,8 +128,13 @@ class CSRConv2d(Module):
             start, stop = indptr[row], indptr[row + 1]
             if start == stop:
                 continue
+            row_values = values[start:stop]
+            if self.scales is not None:
+                row_values = row_values.astype(np.float32) * self.scales[row]
+            elif row_values.dtype != np.float32:
+                row_values = row_values.astype(np.float32)
             out[:, row, :] = np.einsum(
-                "k,nkl->nl", values[start:stop], cols[:, indices[start:stop], :],
+                "k,nkl->nl", row_values, cols[:, indices[start:stop], :],
                 optimize=True,
             )
         out = out.reshape(n, f, out_h, out_w)
@@ -143,15 +171,25 @@ def compressed_storage_bits(model: Module, value_bits: int = 32, index_bits: int
     return total
 
 
-def serving_storage_report(manager) -> Dict[str, object]:
+def serving_storage_report(manager, precision: str = None) -> Dict[str, object]:
     """Per-layer storage/dispatch summary of a (frozen) serving engine.
 
     For every masked layer: the route its next forward takes, its
-    density, and the exact CSR storage bits of the cached pattern
-    (values + column indices + row pointers) versus the dense weight
-    bits — the §III-D accounting applied to the live serving engine
-    instead of a one-off :func:`compress_model` copy.
+    density, the exact CSR storage bits of the cached pattern (values +
+    column indices + row pointers) versus the dense weight bits — the
+    §III-D accounting applied to the live serving engine — **and** the
+    actual bytes the layer costs in the packed ``.reprom`` format
+    (delta+varint indices, quantized values), computed by running the
+    real codec so the theoretical and on-disk numbers cannot silently
+    diverge.  ``precision`` picks the packed value precision; it
+    defaults to the artifact's stored precision for packed sessions and
+    ``"f32"`` otherwise.  Sessions served from a package also get a
+    ``"packed"`` section with the measured file size.
     """
+    from .packaging import packed_layer_bytes
+
+    package = getattr(manager, "package", None)
+    stored = precision or (package.precision if package is not None else "f32")
     layers = []
     for name, state in manager.states.items():
         pattern = state.csr_pattern()
@@ -164,14 +202,24 @@ def serving_storage_report(manager) -> Dict[str, object]:
             "nonzeros": pattern.nnz,
             "csr_bits": csr_bits,
             "dense_bits": state.size * 32,
+            "packed_bytes": packed_layer_bytes(pattern, stored)["total_bytes"],
             "frozen": state.frozen,
         })
-    return {
+    report = {
         "layers": layers,
         "total_csr_bits": sum(item["csr_bits"] for item in layers),
         "total_dense_bits": sum(item["dense_bits"] for item in layers),
+        "total_packed_bytes": sum(item["packed_bytes"] for item in layers),
+        "packed_precision": stored,
         "frozen": all(item["frozen"] for item in layers),
     }
+    if package is not None:
+        report["packed"] = {
+            "path": str(package.path),
+            "precision": package.precision,
+            "file_bytes": package.file_bytes,
+        }
+    return report
 
 
 def compression_report(model: Module) -> Dict[str, float]:

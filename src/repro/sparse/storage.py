@@ -174,6 +174,52 @@ class CSRPattern:
     def from_mask(cls, mask: np.ndarray) -> "CSRPattern":
         return cls(mask)
 
+    @classmethod
+    def from_arrays(
+        cls,
+        indices: np.ndarray,
+        indptr: np.ndarray,
+        shape: Tuple[int, int],
+        orig_shape: Tuple[int, ...],
+        values: Optional[np.ndarray] = None,
+    ) -> "CSRPattern":
+        """Build a pattern directly from CSR arrays (no dense mask).
+
+        The package loader (:mod:`repro.sparse.packaging`) uses this to
+        reconstruct serving patterns without ever materializing a dense
+        mask: ``values`` may be any float32 buffer — including a
+        read-only view into an mmap'd artifact, which the pattern then
+        aliases instead of copying.  ``flat_index`` (only needed by
+        :meth:`gather`, which frozen serving never calls) is built
+        lazily.
+        """
+        self = object.__new__(cls)
+        rows, cols = (int(shape[0]), int(shape[1]))
+        self.shape = (rows, cols)
+        self.orig_shape = tuple(int(d) for d in orig_shape)
+        self.indices = np.ascontiguousarray(indices, dtype=np.int32)
+        self.indptr = np.ascontiguousarray(indptr, dtype=np.int32)
+        if self.indptr.size != rows + 1:
+            raise ValueError(
+                f"indptr has {self.indptr.size} entries for {rows} rows"
+            )
+        self.flat_index = None
+        self.nnz = int(self.indices.size)
+        if values is not None:
+            if values.size != self.nnz:
+                raise ValueError(
+                    f"values buffer has {values.size} entries, pattern has "
+                    f"{self.nnz} non-zeros"
+                )
+            self.values = values
+        else:
+            self.values = np.empty(self.nnz, dtype=np.float32)
+        self.frozen = False
+        self._sp = None
+        self._sp_t = None
+        self._row_of_nz = None
+        return self
+
     @property
     def density(self) -> float:
         total = self.shape[0] * self.shape[1]
@@ -215,6 +261,15 @@ class CSRPattern:
                 "cannot gather into a frozen CSRPattern: the value buffer "
                 "is read-only for inference; call thaw() first"
             )
+        if self.flat_index is None:
+            # Patterns built via from_arrays defer this (serving never
+            # gathers); rebuild it on the first trainable use.
+            rows = np.repeat(
+                np.arange(self.shape[0]), np.diff(self.indptr)
+            )
+            self.flat_index = (
+                rows * self.shape[1] + self.indices.astype(np.intp)
+            ).astype(np.intp)
         flat = np.ascontiguousarray(weight).reshape(-1)
         values = self._values_buffer(flat.dtype)
         np.take(flat, self.flat_index, out=values)
@@ -238,9 +293,18 @@ class CSRPattern:
         SciPy wraps the data array it is constructed around in a view,
         so an identity check alone misses the shared-buffer case — and
         would both waste a copy per kernel call and fault on frozen
-        (read-only) value buffers.
+        (read-only) value buffers.  The base chain is not reliable
+        either (views of ``np.memmap``-backed package buffers re-root
+        it), so fall back to comparing the raw data pointers.
         """
-        return cached is data or cached.base is data
+        if cached is data or cached.base is data:
+            return True
+        return (
+            cached.dtype == data.dtype
+            and cached.nbytes == data.nbytes
+            and cached.__array_interface__["data"][0]
+            == data.__array_interface__["data"][0]
+        )
 
     def _scipy_matrix(self, dtype):
         if self._sp is None or self._sp.data.dtype != dtype:

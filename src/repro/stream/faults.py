@@ -20,12 +20,14 @@ delivery of plausible corrupted input is this module's.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Sequence, Union
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Sequence, Union
 
 import numpy as np
 
-from ..train.faults import FaultSpec, parse_fault_spec
 from .events import StreamEvent
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from ..train.faults import FaultSpec
 
 
 class StreamFaultInjector:
@@ -47,6 +49,10 @@ class StreamFaultInjector:
         specs: Sequence[Union[str, FaultSpec]],
         seed: int = 0,
     ) -> None:
+        # Imported here, not at module top: stream serving (and packed
+        # deployment in general) must not pull in the training stack.
+        from ..train.faults import parse_fault_spec
+
         self.specs: List[FaultSpec] = []
         for spec in specs:
             parsed = parse_fault_spec(spec) if isinstance(spec, str) else spec

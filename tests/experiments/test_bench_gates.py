@@ -177,10 +177,10 @@ class TestCheckAllEntryPoint:
         argv = ["--only", "streaming", "--baseline-dir", str(tmp_path)]
         assert check_all.main(argv) == 1
 
-    def test_registry_covers_all_four_gates(self):
+    def test_registry_covers_all_five_gates(self):
         check_all = load_bench("check_all")
         assert set(check_all.GATES) == {
-            "kernels", "sweep", "serving", "streaming",
+            "kernels", "sweep", "serving", "streaming", "packaging",
         }
         for module_name, baseline, _ in check_all.GATES.values():
             assert os.path.exists(
@@ -189,3 +189,61 @@ class TestCheckAllEntryPoint:
             assert os.path.exists(
                 os.path.join(BENCH_DIR, "..", baseline)
             )
+
+    def test_json_summary(self, tmp_path):
+        check_all = load_bench("check_all")
+        bench = load_bench("bench_packaging")
+        payload = bench.run_comparison(repeats=1, load_repeats=1, width=48)
+        relaxed = dict(payload)
+        for metric in bench.HEADLINE_METRICS:
+            relaxed[metric] = 1e-6
+        (tmp_path / "BENCH_packaging.json").write_text(json.dumps(relaxed))
+        check_all.GATES["packaging"] = (
+            "bench_packaging", "BENCH_packaging.json",
+            ["--repeats", "1", "--load-repeats", "1", "--width", "48"],
+        )
+        summary_path = tmp_path / "summary.json"
+        argv = ["--only", "packaging", "--baseline-dir", str(tmp_path),
+                "--json", str(summary_path)]
+        assert check_all.main(argv) == 0
+        summary = json.loads(summary_path.read_text())
+        assert summary["ok"] is True
+        assert summary["failed"] == []
+        assert summary["gates"]["packaging"]["exit_code"] == 0
+        # a missing baseline shows up as a machine-readable failure too
+        os.remove(tmp_path / "BENCH_packaging.json")
+        assert check_all.main(argv) == 1
+        summary = json.loads(summary_path.read_text())
+        assert summary["ok"] is False
+        assert summary["failed"] == ["packaging"]
+
+
+@pytest.mark.smoke
+class TestPackagingRegressionGate:
+    def tiny_payload(self, bench):
+        return bench.run_comparison(repeats=1, load_repeats=1, width=48)
+
+    def test_self_baseline_passes_and_doctored_baseline_fails(self):
+        bench = load_bench("bench_packaging")
+        payload = self.tiny_payload(bench)
+        assert bench.check_regressions(payload, payload) == []
+        doctored = dict(payload)
+        doctored["artifact_size_ratio"] = payload["artifact_size_ratio"] * 100.0
+        failures = bench.check_regressions(doctored, payload)
+        assert any("artifact_size_ratio" in failure for failure in failures)
+
+    def test_check_cli_exit_codes(self, tmp_path):
+        bench = load_bench("bench_packaging")
+        payload = self.tiny_payload(bench)
+        argv = ["--repeats", "1", "--load-repeats", "1", "--width", "48"]
+        good = tmp_path / "baseline.json"
+        relaxed = dict(payload)
+        for metric in bench.HEADLINE_METRICS:
+            relaxed[metric] = 1e-6
+        good.write_text(json.dumps(relaxed))
+        assert bench.main(argv + ["--check", str(good)]) == 0
+        bad = tmp_path / "doctored.json"
+        doctored = dict(payload)
+        doctored["cold_load_speedup"] = 1e6
+        bad.write_text(json.dumps(doctored))
+        assert bench.main(argv + ["--check", str(bad)]) == 1

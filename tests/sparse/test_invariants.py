@@ -278,3 +278,61 @@ class TestCompactionInvariants:
 
         scale = max(1.0, float(np.abs(reference).max()))
         assert float(np.abs(produced - reference).max()) <= 1e-6 * scale
+
+
+# ----------------------------------------------------------------------
+# Packed-artifact f16 bias parity
+# ----------------------------------------------------------------------
+class TestPackedBiasParity:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 8),
+        density=st.floats(min_value=0.1, max_value=0.9),
+    )
+    def test_f16_biases_served_bit_exact(self, seed, density, tmp_path_factory):
+        """Biases round f32 → f16 once at export and never again.
+
+        With the reference model's biases snapped onto the f16 grid
+        first, the packed f32-stored/f32-runtime session must reproduce
+        it *bit-identically*: stored-f16 + upcast-on-use loses nothing
+        beyond the initial rounding.  (Numpy's f16→f32 conversion is
+        exact, so any further drift would mean the serving path
+        re-quantizes somewhere.)
+        """
+        from repro.serve import InferenceSession
+        from repro.sparse.packaging import (
+            PackedModel, build_packed_runtime, write_package,
+        )
+
+        model = SpikingMLP(10, 3, hidden=(12,), timesteps=2,
+                           rng=np.random.default_rng(seed))
+        model.eval()
+        for name, parameter in model.named_parameters():
+            if name.endswith("bias"):
+                parameter.data = (
+                    parameter.data.astype(np.float16).astype(np.float32)
+                )
+        manager = SparsityManager(model, rng=np.random.default_rng(seed + 1))
+        manager.init_random({name: density for name in manager.states})
+        manager.set_execution("csr")
+        inputs = np.random.default_rng(seed + 5).standard_normal(
+            (4, 10)
+        ).astype(np.float32)
+        reference = InferenceSession(model, manager, max_batch=4).predict(
+            inputs
+        )
+
+        path = tmp_path_factory.mktemp("bias") / "m.reprom"
+        write_package(path, model, manager,
+                      {"model": "mlp",
+                       "kwargs": {"in_features": 10, "num_classes": 3,
+                                  "hidden": [12], "timesteps": 2},
+                       "encoder": "direct", "seed": 0},
+                      precision="f32")
+        packed, packed_manager = build_packed_runtime(PackedModel(path))
+        for name, parameter in packed.named_parameters():
+            if name.endswith("bias"):
+                assert parameter.data.dtype == np.float16, name
+        produced = InferenceSession(packed, packed_manager,
+                                    max_batch=4).predict(inputs)
+        assert np.array_equal(produced, reference)

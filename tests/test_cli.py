@@ -280,3 +280,38 @@ class TestServing:
                 "infer", *FAST_WORKLOAD,
                 "--checkpoint", str(tmp_path / "nope"),
             ])
+
+    @pytest.mark.smoke
+    def test_export_then_infer_from_package(self, checkpoint, tmp_path, capsys):
+        package = tmp_path / "model.reprom"
+        assert main([
+            "export", *FAST_WORKLOAD,
+            "--checkpoint", str(checkpoint), "--out", str(package),
+            "--precision", "int8",
+        ]) == 0
+        assert "packed" in capsys.readouterr().out
+        out_path = tmp_path / "packed_infer.json"
+        code = main([
+            "infer", *FAST_WORKLOAD,
+            "--package", str(package), "--out", str(out_path),
+        ])
+        assert code == 0
+        assert "accuracy" in capsys.readouterr().out
+        payload = json.loads(out_path.read_text())
+        assert 0.0 <= payload["accuracy"] <= 1.0
+        assert payload["samples"] == 16
+        assert payload["storage"]["frozen"] is True
+        assert {d["cutoff_source"] for d in payload["dispatch"]} == {"package"}
+        packed = payload["storage"]["packed"]
+        assert packed["precision"] == "int8"
+        assert packed["file_bytes"] == package.stat().st_size
+
+    def test_serving_requires_exactly_one_model_source(self, checkpoint, tmp_path):
+        with pytest.raises(SystemExit, match="exactly one"):
+            main(["infer", *FAST_WORKLOAD])
+        with pytest.raises(SystemExit, match="exactly one"):
+            main([
+                "infer", *FAST_WORKLOAD,
+                "--checkpoint", str(checkpoint),
+                "--package", str(tmp_path / "model.reprom"),
+            ])
